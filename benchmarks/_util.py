@@ -1,0 +1,31 @@
+"""Shared helper for the per-exhibit benchmarks.
+
+Each benchmark runs one registered experiment in its fast profile exactly
+once (simulation experiments are seconds-long; statistical repetition is
+what the multi-seed paper profile is for) and attaches the resulting table
+to the benchmark record as ``extra_info`` so `pytest-benchmark`'s JSON
+output carries the reproduced numbers alongside the timing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import get
+
+__all__ = ["run_exhibit"]
+
+
+def run_exhibit(benchmark, experiment_id: str, seed: int = 1):
+    """Benchmark one exhibit and return its ResultTable."""
+    experiment = get(experiment_id)
+    table = benchmark.pedantic(
+        lambda: experiment.run(seed=seed, fast=True), rounds=1, iterations=1
+    )
+    benchmark.extra_info["exhibit"] = experiment.paper_exhibit
+    benchmark.extra_info["description"] = experiment.description
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in table.rows
+    ]
+    benchmark.extra_info["notes"] = table.notes
+    assert table.rows, f"experiment {experiment_id} produced no rows"
+    return table

@@ -1,0 +1,38 @@
+"""Benchmarks for the ablation experiments beyond the paper's exhibits."""
+
+from _util import run_exhibit
+
+
+def test_ablation_margin(benchmark):
+    print()
+    print(run_exhibit(benchmark, "ablation_margin").to_text())
+
+
+def test_ablation_tu(benchmark):
+    print()
+    print(run_exhibit(benchmark, "ablation_tu").to_text())
+
+
+def test_ablation_ti(benchmark):
+    print()
+    print(run_exhibit(benchmark, "ablation_ti").to_text())
+
+
+def test_ablation_oracle(benchmark):
+    print()
+    print(run_exhibit(benchmark, "ablation_oracle").to_text())
+
+
+def test_ablation_mode2(benchmark):
+    print()
+    print(run_exhibit(benchmark, "ablation_mode2").to_text())
+
+
+def test_ablation_energy(benchmark):
+    print()
+    print(run_exhibit(benchmark, "ablation_energy").to_text())
+
+
+def test_ablation_orthogonal(benchmark):
+    print()
+    print(run_exhibit(benchmark, "ablation_orthogonal").to_text())

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 1: bandwidth throughput vs CFD over a 12 MHz band."""
+
+from _util import run_exhibit
+
+
+def test_fig01(benchmark):
+    table = run_exhibit(benchmark, "fig01")
+    print()
+    print(table.to_text())

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 2: 802.11b vs 802.15.4 channel-separation contrast."""
+
+from _util import run_exhibit
+
+
+def test_fig02(benchmark):
+    table = run_exhibit(benchmark, "fig02")
+    print()
+    print(table.to_text())

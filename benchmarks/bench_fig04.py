@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 4: collided-packet receive rate vs CFD."""
+
+from _util import run_exhibit
+
+
+def test_fig04(benchmark):
+    table = run_exhibit(benchmark, "fig04")
+    print()
+    print(table.to_text())

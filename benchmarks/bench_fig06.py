@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 6: link throughput vs CCA threshold (no co-channel)."""
+
+from _util import run_exhibit
+
+
+def test_fig06(benchmark):
+    table = run_exhibit(benchmark, "fig06")
+    print()
+    print(table.to_text())

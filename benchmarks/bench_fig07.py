@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 7: overall throughput vs CCA threshold (no co-channel)."""
+
+from _util import run_exhibit
+
+
+def test_fig07(benchmark):
+    table = run_exhibit(benchmark, "fig07")
+    print()
+    print(table.to_text())

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 8: link throughput vs CCA threshold (with co-channel)."""
+
+from _util import run_exhibit
+
+
+def test_fig08(benchmark):
+    table = run_exhibit(benchmark, "fig08")
+    print()
+    print(table.to_text())

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 9: link throughput vs CCA threshold per tx power."""
+
+from _util import run_exhibit
+
+
+def test_fig09(benchmark):
+    table = run_exhibit(benchmark, "fig09")
+    print()
+    print(table.to_text())

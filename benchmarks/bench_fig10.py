@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 10: link PRR vs tx power under a relaxed threshold."""
+
+from _util import run_exhibit
+
+
+def test_fig10(benchmark):
+    table = run_exhibit(benchmark, "fig10")
+    print()
+    print(table.to_text())

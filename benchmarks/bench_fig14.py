@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 14: N0 throughput with DCN only on N0."""
+
+from _util import run_exhibit
+
+
+def test_fig14(benchmark):
+    table = run_exhibit(benchmark, "fig14")
+    print()
+    print(table.to_text())

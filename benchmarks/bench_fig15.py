@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 15: other networks' throughput with DCN only on N0."""
+
+from _util import run_exhibit
+
+
+def test_fig15(benchmark):
+    table = run_exhibit(benchmark, "fig15")
+    print()
+    print(table.to_text())

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 16: per-network throughput, CFD=2 MHz, DCN on all."""
+
+from _util import run_exhibit
+
+
+def test_fig16(benchmark):
+    table = run_exhibit(benchmark, "fig16")
+    print()
+    print(table.to_text())

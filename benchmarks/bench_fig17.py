@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 17: per-network throughput, CFD=3 MHz, DCN on all."""
+
+from _util import run_exhibit
+
+
+def test_fig17(benchmark):
+    table = run_exhibit(benchmark, "fig17")
+    print()
+    print(table.to_text())

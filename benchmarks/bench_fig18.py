@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 18: overall throughput, CFD 2 vs 3 MHz, DCN on all."""
+
+from _util import run_exhibit
+
+
+def test_fig18(benchmark):
+    table = run_exhibit(benchmark, "fig18")
+    print()
+    print(table.to_text())

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 19: ZigBee design vs DCN design on the 15 MHz band."""
+
+from _util import run_exhibit
+
+
+def test_fig19(benchmark):
+    table = run_exhibit(benchmark, "fig19")
+    print()
+    print(table.to_text())

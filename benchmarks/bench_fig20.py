@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 20: N0 throughput vs its transmit power."""
+
+from _util import run_exhibit
+
+
+def test_fig20(benchmark):
+    table = run_exhibit(benchmark, "fig20")
+    print()
+    print(table.to_text())

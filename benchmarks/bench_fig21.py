@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 21: other networks' throughput vs N0 transmit power."""
+
+from _util import run_exhibit
+
+
+def test_fig21(benchmark):
+    table = run_exhibit(benchmark, "fig21")
+    print()
+    print(table.to_text())

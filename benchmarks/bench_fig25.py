@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 25: Case I: all networks in one interfering region."""
+
+from _util import run_exhibit
+
+
+def test_fig25(benchmark):
+    table = run_exhibit(benchmark, "fig25")
+    print()
+    print(table.to_text())

@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 26: Case II: networks separated into clusters."""
+
+from _util import run_exhibit
+
+
+def test_fig26(benchmark):
+    table = run_exhibit(benchmark, "fig26")
+    print()
+    print(table.to_text())

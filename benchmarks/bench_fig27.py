@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 27: Case III: random topology over a large region."""
+
+from _util import run_exhibit
+
+
+def test_fig27(benchmark):
+    table = run_exhibit(benchmark, "fig27")
+    print()
+    print(table.to_text())

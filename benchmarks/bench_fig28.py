@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 28: packet recovery under severe interference."""
+
+from _util import run_exhibit
+
+
+def test_fig28(benchmark):
+    table = run_exhibit(benchmark, "fig28")
+    print()
+    print(table.to_text())

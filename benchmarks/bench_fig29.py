@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 29: error-bit CDF of CRC-failed packets."""
+
+from _util import run_exhibit
+
+
+def test_fig29(benchmark):
+    table = run_exhibit(benchmark, "fig29")
+    print()
+    print(table.to_text())

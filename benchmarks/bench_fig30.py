@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Fig. 30: wider band: 18 MHz, 7 channels."""
+
+from _util import run_exhibit
+
+
+def test_fig30(benchmark):
+    table = run_exhibit(benchmark, "fig30")
+    print()
+    print(table.to_text())

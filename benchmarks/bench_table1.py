@@ -1,0 +1,9 @@
+"""Benchmark regenerating the paper's Table I: fairness across the six DCN networks."""
+
+from _util import run_exhibit
+
+
+def test_table1(benchmark):
+    table = run_exhibit(benchmark, "table1")
+    print()
+    print(table.to_text())

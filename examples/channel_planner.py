@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Channel planner: pick a CFD for a given spectrum band.
+
+Given a band (width in MHz) and a deployment style, sweep candidate channel
+frequency distances, simulate each plan under saturated traffic (with DCN
+on every node) and report the measured capacity — reproducing the paper's
+CFD-selection methodology (Section VI-A) as a reusable tool.
+
+Run:  python examples/channel_planner.py [band_mhz]
+"""
+
+import sys
+
+from repro.experiments.runner import run_deployment
+from repro.experiments.scenarios import dcn_policy_factory
+from repro.net.deployment import Deployment
+from repro.net.topology import fixed_power, one_region_topology
+from repro.phy.spectrum import Band, ChannelPlan
+from repro.sim.rng import RngStreams
+
+CANDIDATE_CFDS_MHZ = (5.0, 4.0, 3.0, 2.0)
+
+#: Discount per-channel capacity by delivery quality: a plan that floods
+#: the band with barely-working channels should not beat one whose
+#: channels actually deliver (the paper's CFD=2 MHz lesson).
+MIN_ACCEPTABLE_PRR = 0.8
+
+
+def evaluate(band: Band, cfd_mhz: float, seed: int, duration_s: float):
+    plan = ChannelPlan.inclusive(band, cfd_mhz)
+    rng = RngStreams(seed).stream("topology")
+    specs = one_region_topology(
+        plan, rng, region_radius_m=3.5, link_distance_m=1.5,
+        power=fixed_power(0.0),
+    )
+    deployment = Deployment(
+        specs, seed=seed, policy_factory=dcn_policy_factory()
+    )
+    result = run_deployment(deployment, duration_s)
+    return plan, result
+
+
+def main() -> None:
+    band_width = float(sys.argv[1]) if len(sys.argv) > 1 else 15.0
+    band = Band(2458.0, 2458.0 + band_width)
+    seed = 11
+    duration_s = 4.0
+
+    print(f"Planning a {band.width_mhz:.0f} MHz band "
+          f"({band.low_mhz:.0f}-{band.high_mhz:.0f} MHz), DCN on all nodes\n")
+    print(
+        f"{'CFD':>5} {'channels':>9} {'overall pkt/s':>14} "
+        f"{'per-channel':>12} {'worst PRR':>10}"
+    )
+    best = None
+    for cfd in CANDIDATE_CFDS_MHZ:
+        plan, result = evaluate(band, cfd, seed, duration_s)
+        overall = result.overall_throughput_pps
+        worst_prr = min(m.prr for m in result.networks)
+        print(
+            f"{cfd:>4.0f}M {plan.num_channels:>9} {overall:>14.1f} "
+            f"{overall / plan.num_channels:>12.1f} {worst_prr:>10.2f}"
+        )
+        acceptable = worst_prr >= MIN_ACCEPTABLE_PRR
+        if acceptable and (best is None or overall > best[1]):
+            best = (cfd, overall)
+    assert best is not None
+    print(f"\nrecommended CFD: {best[0]:.0f} MHz "
+          f"({best[1]:.0f} pkt/s with every channel's PRR >= "
+          f"{MIN_ACCEPTABLE_PRR})")
+    print("(the paper selects 3 MHz for 15 MHz of spectrum)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Packet-recovery study: when is PPR-style recovery worth its overhead?
+
+Section VII-A of the paper observes that under severe inter-channel
+interference most CRC-failed packets carry few error bits and proposes
+integrating a partial-packet-recovery scheme.  This example quantifies the
+trade-off across link powers: packets recovered versus the extra airtime a
+PPR-like scheme would charge — the input an "online dynamic recovery"
+controller (the paper's future work) would need.
+
+Run:  python examples/packet_recovery_study.py
+"""
+
+from repro.core.recovery import PacketRecovery, RecoveryConfig
+from repro.experiments.metrics import snapshot_deployment
+from repro.experiments.scenarios import section_iv_rig
+from repro.mac.cca import FixedCcaThreshold
+
+LINK_POWERS_DBM = (0.0, -11.0, -22.0, -33.0)
+RELAXED_THRESHOLD_DBM = -50.0
+
+
+def study(power_dbm: float, seed: int = 5, duration_s: float = 8.0):
+    deployment = section_iv_rig(
+        seed=seed,
+        link_cca_policy=FixedCcaThreshold(RELAXED_THRESHOLD_DBM),
+        link_power_dbm=power_dbm,
+    )
+    recovery = PacketRecovery(RecoveryConfig(max_error_fraction=0.10,
+                                             overhead_fraction=0.15))
+    receiver = deployment.node("probe.r0")
+    measuring = {"on": False}
+
+    def observe(rec):
+        if measuring["on"] and rec.frame.source == "probe.s0":
+            recovery.record(rec)
+
+    receiver.radio.add_frame_listener(observe)
+    deployment.start_traffic()
+    sim = deployment.sim
+    sim.run(1.0)
+    baseline = snapshot_deployment(deployment)
+    measuring["on"] = True
+    sim.run(sim.now + duration_s)
+    sent = (
+        deployment.node("probe.s0").mac.stats.since(baseline["probe.s0"]).sent
+        / duration_s
+    )
+    return sent, recovery
+
+
+def main() -> None:
+    print("link power sweep under 0 dBm neighbouring-channel interference\n")
+    header = (
+        f"{'power':>7} {'sent/s':>8} {'clean/s':>8} {'recov/s':>8} "
+        f"{'unrec/s':>8} {'rescued':>8} {'overhead':>9}"
+    )
+    print(header)
+    for power in LINK_POWERS_DBM:
+        sent, recovery = study(power)
+        stats = recovery.stats
+        duration = 8.0
+        print(
+            f"{power:>6.0f}  {sent:>8.1f} {stats.crc_ok / duration:>8.1f} "
+            f"{stats.recovered / duration:>8.1f} "
+            f"{stats.unrecoverable / duration:>8.1f} "
+            f"{100 * stats.recovery_ratio:>7.1f}% "
+            f"{1000 * stats.overhead_airtime_s / duration:>7.2f}ms/s"
+        )
+    print(
+        "\nReading: at healthy powers recovery has nothing to do; at -22 dBm"
+        "\nit rescues most failures for a small airtime surcharge; at -33 dBm"
+        "\nfailures are too corrupted to rescue — exactly the regime split an"
+        "\nonline recovery controller should learn."
+    )
+
+
+if __name__ == "__main__":
+    main()

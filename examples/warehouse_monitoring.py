@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Warehouse monitoring: a Case-II-style deployment with per-zone networks.
+
+Scenario: a warehouse has six monitoring zones (cold storage, loading dock,
+aisles A-D).  Each zone runs its own sensor network on its own channel; the
+zones are physically separated but close enough that channels leak into one
+another.  Spectrum is scarce — only 15 MHz is available — so the operator
+must choose between 4 orthogonal-ish channels (two zones must share!) or 6
+non-orthogonal channels at 3 MHz spacing.
+
+This example builds both options, measures per-zone throughput and checks
+zone-to-zone fairness.  It exercises: explicit channel plans, the clustered
+topology generator, per-network CCA policy assignment, and run metrics.
+
+Run:  python examples/warehouse_monitoring.py
+"""
+
+from repro.experiments.metrics import jain_fairness
+from repro.experiments.runner import run_deployment
+from repro.net.deployment import Deployment
+from repro.net.topology import random_power, separated_clusters_topology
+from repro.core.dcn import DcnCcaPolicy
+from repro.mac.cca import FixedCcaThreshold
+from repro.phy.spectrum import ChannelPlan, EVALUATION_BAND
+from repro.sim.rng import RngStreams
+
+ZONES = ["cold-storage", "loading-dock", "aisle-A", "aisle-B", "aisle-C", "aisle-D"]
+
+
+def build(cfd_mhz: float, use_dcn: bool, seed: int) -> Deployment:
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, cfd_mhz)
+    rng = RngStreams(seed).stream("topology")
+    specs = separated_clusters_topology(
+        plan,
+        rng,
+        cluster_spacing_m=4.0,       # zones a few metres apart
+        cluster_radius_m=1.0,
+        link_distance_m=1.5,
+        power=random_power(-10.0, 0.0),  # per-node power dispersion
+    )
+
+    def policy(_label: str, _node: str):
+        return DcnCcaPolicy() if use_dcn else FixedCcaThreshold(-77.0)
+
+    return Deployment(specs, seed=seed, policy_factory=policy)
+
+
+def main() -> None:
+    seed = 7
+    duration_s = 5.0
+
+    print("Option A: 4 channels @ 5 MHz (two zones must share a channel)")
+    option_a = run_deployment(build(5.0, use_dcn=False, seed=seed), duration_s)
+
+    print("Option B: 6 channels @ 3 MHz + DCN (every zone gets a channel)")
+    option_b = run_deployment(build(3.0, use_dcn=True, seed=seed), duration_s)
+
+    print()
+    print(f"{'zone':<14} {'option A pkt/s':>15} {'option B pkt/s':>15}")
+    b_by_label = {m.label: m for m in option_b.networks}
+    for index, zone in enumerate(ZONES):
+        label = f"N{index}"
+        a = option_a.network(label).throughput_pps if index < 4 else float("nan")
+        b = b_by_label[label].throughput_pps
+        a_text = f"{a:15.1f}" if index < 4 else "   (no channel)"
+        print(f"{zone:<14} {a_text} {b:15.1f}")
+
+    print()
+    print(f"option A overall: {option_a.overall_throughput_pps:7.1f} pkt/s over 4 channels")
+    print(f"option B overall: {option_b.overall_throughput_pps:7.1f} pkt/s over 6 channels")
+    fairness = jain_fairness([m.throughput_pps for m in option_b.networks])
+    print(f"option B zone fairness (Jain): {fairness:.3f}")
+    gain = 100.0 * (
+        option_b.overall_throughput_pps / option_a.overall_throughput_pps - 1.0
+    )
+    print(f"capacity gain from non-orthogonal design: +{gain:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of *Design of Non-orthogonal Multi-channel Sensor
+Networks* (Xu, Luo, Zhang — ICDCS 2010).
+
+The package implements, from scratch:
+
+- a discrete-event simulation kernel (:mod:`repro.sim`),
+- a CC2420-parameterised 802.15.4 PHY with calibrated spectral-leakage /
+  SINR / BER models (:mod:`repro.phy`),
+- an unslotted CSMA/CA MAC with pluggable CCA policies (:mod:`repro.mac`),
+- the paper's contribution — **DCN**, the dynamic CCA-threshold scheme for
+  non-orthogonal transmission (:mod:`repro.core`),
+- network/node/topology/deployment layers (:mod:`repro.net`),
+- a simplified 802.11b contrast substrate (:mod:`repro.dot11`), and
+- an experiment harness reproducing every table and figure of the paper's
+  evaluation (:mod:`repro.experiments`).
+"""
+
+from . import core, dot11, experiments, mac, net, phy, sim
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "dot11",
+    "experiments",
+    "mac",
+    "net",
+    "phy",
+    "sim",
+    "__version__",
+]

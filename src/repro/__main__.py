@@ -1,0 +1,100 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                       # all reproducible exhibits
+    python -m repro run fig19 --fast --seed 2  # run one exhibit
+    python -m repro report [--fast]            # regenerate EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import report as report_module
+from .experiments.registry import REGISTRY, get
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(eid) for eid in REGISTRY)
+    for eid, experiment in REGISTRY.items():
+        print(f"{eid:<{width}}  {experiment.paper_exhibit:<14} {experiment.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        experiment = get(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    table = experiment.run(seed=args.seed, fast=args.fast)
+    print(table.to_text("{:.4g}"))
+    if args.csv:
+        print()
+        print(table.to_csv())
+    if args.chart:
+        columns = table.columns()
+        numeric = [
+            c for c in columns
+            if any(isinstance(row.get(c), (int, float)) for row in table.rows)
+        ]
+        if numeric:
+            # Chart the dominant numeric column (largest magnitude): for
+            # throughput exhibits that is the packets/s series.
+            def peak(column):
+                return max(
+                    (abs(row[column]) for row in table.rows
+                     if isinstance(row.get(column), (int, float))),
+                    default=0.0,
+                )
+
+            best = max(numeric, key=peak)
+            print()
+            print(table.to_bar_chart(columns[0], best))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    argv = []
+    if args.fast:
+        argv.append("--fast")
+    argv.extend(["--seed", str(args.seed), "--out", args.out])
+    return report_module.main(argv)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Design of Non-orthogonal Multi-channel "
+        "Sensor Networks' (ICDCS 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible exhibits").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one exhibit")
+    run_parser.add_argument("experiment", help="exhibit id, e.g. fig19")
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--fast", action="store_true")
+    run_parser.add_argument("--csv", action="store_true", help="also print CSV")
+    run_parser.add_argument(
+        "--chart", action="store_true", help="also print an ASCII bar chart"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument("--seed", type=int, default=1)
+    report_parser.add_argument("--fast", action="store_true")
+    report_parser.add_argument("--out", default="EXPERIMENTS.md")
+    report_parser.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's contribution: DCN and its companions.
+
+- :class:`~repro.core.adjustor.CcaAdjustor` — the two-phase threshold logic
+  (Eqs. 2-4).
+- :class:`~repro.core.dcn.DcnCcaPolicy` — DCN as a drop-in CCA policy.
+- :class:`~repro.core.recovery.PacketRecovery` — Section VII-A packet
+  recovery model.
+- :class:`~repro.core.oracle.OracleCcaPolicy` — Section VII-C idealised
+  upper bound (ablation only).
+"""
+
+from .adjustor import AdjustorConfig, CcaAdjustor
+from .carrier_sense import CarrierSenseCcaPolicy
+from .dcn import DcnCcaPolicy
+from .oracle import OracleCcaPolicy
+from .recovery import (
+    OnlineRecoveryController,
+    PacketRecovery,
+    RecoveryConfig,
+    RecoveryStats,
+)
+
+__all__ = [
+    "AdjustorConfig",
+    "CcaAdjustor",
+    "CarrierSenseCcaPolicy",
+    "DcnCcaPolicy",
+    "OnlineRecoveryController",
+    "OracleCcaPolicy",
+    "PacketRecovery",
+    "RecoveryConfig",
+    "RecoveryStats",
+]

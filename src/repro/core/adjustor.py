@@ -1,0 +1,175 @@
+"""The CCA-Adjustor: the heart of DCN (paper Section V-B).
+
+The adjustor maintains the CCA threshold in two phases:
+
+**Initializing phase** (duration ``T_I``, paper: 1 s).  The node has just
+booted; an aggressive threshold could cause co-channel collisions, so the
+node gathers evidence while carrier-sensing with the conservative default
+threshold.  It records
+
+- ``S_i`` — the RSSI of every co-channel packet it overhears, and
+- ``P_j`` — the in-channel sensing power, sampled every millisecond
+  (this includes inter-channel leakage).
+
+At the end of the phase the threshold is set per Eq. 2:
+
+    ``CCA_I = min( min_i S_i , max_j P_j )``
+
+i.e. the smaller of (weakest co-channel packet) and (strongest observed
+in-channel energy).  Whichever is smaller, the threshold stays below every
+co-channel packet while sitting as high as the evidence allows — filling the
+gap between the inter-channel and co-channel interference clusters of the
+paper's Fig. 12.
+
+**Updating phase.**  Continuous in-channel sensing costs CPU, so the node
+now only looks at the RSSI of overheard co-channel packets (free: the radio
+stamps RSSI on every received frame).
+
+- *Case I* (Eq. 3): a packet arrives with RSSI below the current threshold →
+  lower the threshold to that RSSI immediately.
+- *Case II* (Eq. 4): no Case-I update for ``T_U`` seconds (paper: 3 s) →
+  set the threshold to the minimum RSSI recorded over the last ``T_U``
+  seconds.  This is what lets the threshold *relax upward* again after a
+  weak co-channel transmitter goes quiet or moves.
+
+A configurable safety margin (dB) is subtracted from every derived
+threshold; the paper uses none (margin 0).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from ..phy.constants import DEFAULT_CCA_THRESHOLD_DBM
+from ..sim.simulator import Simulator
+from ..sim.units import MILLISECOND
+
+__all__ = ["AdjustorConfig", "CcaAdjustor"]
+
+
+@dataclass(frozen=True)
+class AdjustorConfig:
+    """Tunables of the CCA-Adjustor (defaults follow the paper)."""
+
+    #: Initializing-phase duration T_I.
+    t_init_s: float = 1.0
+    #: Updating-phase window T_U.
+    t_update_s: float = 3.0
+    #: In-channel power sampling period during the initializing phase.
+    sense_interval_s: float = 1.0 * MILLISECOND
+    #: Threshold used while initializing (the conservative ZigBee default).
+    initial_threshold_dbm: float = DEFAULT_CCA_THRESHOLD_DBM
+    #: Safety margin subtracted from every derived threshold.
+    margin_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_init_s < 0:
+            raise ValueError("t_init_s must be >= 0")
+        if self.t_update_s <= 0:
+            raise ValueError("t_update_s must be > 0")
+        if self.sense_interval_s <= 0:
+            raise ValueError("sense_interval_s must be > 0")
+
+
+class CcaAdjustor:
+    """Phase machine computing the dynamic CCA threshold.
+
+    The adjustor is deliberately independent of the MAC: it consumes
+    ``observe_rssi(time, rssi)`` and (during init) ``observe_sense(power)``
+    events and exposes :meth:`threshold_dbm`.  :class:`repro.core.dcn.
+    DcnCcaPolicy` wires it to a live radio/MAC.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[AdjustorConfig] = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else AdjustorConfig()
+        self._threshold_dbm = self.config.initial_threshold_dbm
+        self._initializing = True
+        self._init_min_rssi: Optional[float] = None
+        self._init_max_sense: Optional[float] = None
+        #: (time, rssi) records within the updating window.
+        self._window: Deque[Tuple[float, float]] = deque()
+        self._last_case1_time = 0.0
+        self._history: List[Tuple[float, float]] = [(0.0, self._threshold_dbm)]
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def threshold_dbm(self) -> float:
+        return self._threshold_dbm
+
+    @property
+    def initializing(self) -> bool:
+        return self._initializing
+
+    def history(self) -> List[Tuple[float, float]]:
+        """Threshold trajectory: ``(time, threshold)`` at each change."""
+        return list(self._history)
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def observe_rssi(self, rssi_dbm: float) -> None:
+        """A co-channel packet was overheard with this RSSI."""
+        now = self.sim.now
+        if self._initializing:
+            if self._init_min_rssi is None or rssi_dbm < self._init_min_rssi:
+                self._init_min_rssi = rssi_dbm
+            return
+        self._window.append((now, rssi_dbm))
+        self._expire_window(now)
+        margin = self.config.margin_db
+        if rssi_dbm - margin < self._threshold_dbm:
+            # Case I (Eq. 3): immediate lowering.
+            self._set_threshold(rssi_dbm - margin)
+            self._last_case1_time = now
+
+    def observe_sense(self, power_dbm: float) -> None:
+        """An in-channel power sample (initializing phase only)."""
+        if not self._initializing:
+            return
+        if self._init_max_sense is None or power_dbm > self._init_max_sense:
+            self._init_max_sense = power_dbm
+
+    def finish_initialization(self) -> None:
+        """End of the initializing phase: apply Eq. 2."""
+        if not self._initializing:
+            return
+        self._initializing = False
+        candidates = [
+            value
+            for value in (self._init_min_rssi, self._init_max_sense)
+            if value is not None
+        ]
+        if candidates:
+            self._set_threshold(min(candidates) - self.config.margin_db)
+        # else: no evidence at all — keep the conservative default.
+        self._last_case1_time = self.sim.now
+
+    def periodic_update(self) -> None:
+        """Case II (Eq. 4), to be invoked every ``T_U`` seconds."""
+        if self._initializing:
+            return
+        now = self.sim.now
+        if now - self._last_case1_time < self.config.t_update_s - 1e-9:
+            return
+        self._expire_window(now)
+        if not self._window:
+            return
+        window_min = min(rssi for _, rssi in self._window)
+        self._set_threshold(window_min - self.config.margin_db)
+
+    # ------------------------------------------------------------------
+    def _expire_window(self, now: float) -> None:
+        horizon = now - self.config.t_update_s
+        while self._window and self._window[0][0] < horizon:
+            self._window.popleft()
+
+    def _set_threshold(self, value_dbm: float) -> None:
+        if value_dbm == self._threshold_dbm:
+            return
+        self._threshold_dbm = value_dbm
+        self._history.append((self.sim.now, value_dbm))
+        self.sim.trace.emit("cca_threshold", value=round(value_dbm, 2))

@@ -1,0 +1,68 @@
+"""Oracle CCA: the paper's Section VII-C future-work upper bound.
+
+DCN keeps the CCA threshold below the weakest co-channel packet it has
+heard, which sacrifices inter-channel concurrency whenever a *weak*
+co-channel transmitter exists (the paper's Case III weakness).  Section
+VII-C sketches the fix: if the radio could *identify* whether the energy it
+senses comes from its own channel, it could defer exactly to co-channel
+activity and ignore everything else, with no threshold compromise at all.
+
+:class:`OracleCcaPolicy` implements that idealised scheme by peeking at the
+simulator's ground truth: the channel reads busy if and only if some active
+signal is co-channel and above a protection floor.  It is **not physically
+realisable** — it exists as the upper bound for the ``ablation_oracle``
+experiment, quantifying how much headroom DCN leaves on the table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..mac.cca import CcaPolicy
+from ..phy.constants import RX_SENSITIVITY_DBM
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mac.mac import Mac
+
+__all__ = ["OracleCcaPolicy"]
+
+
+class OracleCcaPolicy(CcaPolicy):
+    """Ground-truth interference differentiation (ideal, non-realisable).
+
+    Parameters
+    ----------
+    protect_floor_dbm:
+        Co-channel signals below this level are ignored even by the oracle
+        (they could not be decoded by any receiver anyway).  Defaults to
+        the radio sensitivity.
+    """
+
+    def __init__(self, protect_floor_dbm: float = RX_SENSITIVITY_DBM) -> None:
+        self.protect_floor_dbm = protect_floor_dbm
+        self._mac: Optional["Mac"] = None
+
+    def attach(self, mac: "Mac") -> None:
+        self._mac = mac
+
+    def threshold_dbm(self) -> float:
+        """Effective threshold: -inf when a co-channel signal is active.
+
+        The MAC compares sensed power against this value; returning +inf
+        when no co-channel signal is audible makes the channel always look
+        clear to inter-channel leakage, and returning the floor when one is
+        active makes it look busy — i.e. perfect differentiation.
+        """
+        assert self._mac is not None, "policy not attached"
+        radio = self._mac.radio
+        for signal in radio.active_signals:
+            offset = abs(signal.channel_mhz - radio.channel_mhz)
+            if (
+                offset <= radio.config.co_channel_tolerance_mhz
+                and signal.rx_power_dbm >= self.protect_floor_dbm
+            ):
+                return float("-inf")
+        return float("inf")
+
+    def describe(self) -> str:
+        return f"oracle(floor={self.protect_floor_dbm:g} dBm)"

@@ -1,0 +1,175 @@
+"""Packet recovery for slightly-corrupted packets (paper Section VII-A).
+
+The paper observes that under severe inter-channel interference most
+CRC-failed packets carry only a small fraction of error bits (Fig. 29: 87 %
+of failures have <= 10 % errored bits) and that a PPR-style partial packet
+recovery scheme could therefore rescue them (Fig. 28's "Recoverable" line).
+
+:class:`PacketRecovery` models that scheme at the level the paper evaluates
+it: a CRC-failed reception is *recoverable* when its error-bit fraction is
+at or below a threshold (default 10 %, the Fig. 29 operating point).  The
+model also charges the PPR feedback/retransmit overhead as an airtime
+fraction so that ablations can weigh the recovery gain against its cost —
+the paper's argument for an *online, per-link* recovery decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.errors import FrameReception
+
+__all__ = ["RecoveryConfig", "RecoveryStats", "PacketRecovery", "OnlineRecoveryController"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Parameters of the PPR-like recovery model.
+
+    Attributes
+    ----------
+    max_error_fraction:
+        CRC-failed packets with at most this fraction of errored bits can
+        be reconstructed (paper Fig. 29 highlights the 10 % point).
+    overhead_fraction:
+        Extra airtime/energy charged per recovered packet, as a fraction of
+        the original frame (PPR feedback + chunk retransmission).
+    """
+
+    max_error_fraction: float = 0.10
+    overhead_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_error_fraction <= 1.0:
+            raise ValueError("max_error_fraction must be within [0, 1]")
+        if self.overhead_fraction < 0.0:
+            raise ValueError("overhead_fraction must be >= 0")
+
+
+@dataclass
+class RecoveryStats:
+    """Outcome counters of a recovery pass."""
+
+    crc_ok: int = 0
+    recovered: int = 0
+    unrecoverable: int = 0
+    overhead_airtime_s: float = 0.0
+
+    @property
+    def total_failures(self) -> int:
+        return self.recovered + self.unrecoverable
+
+    @property
+    def delivered_with_recovery(self) -> int:
+        """Packets usable by the application: clean plus recovered."""
+        return self.crc_ok + self.recovered
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Share of CRC failures that the scheme rescues."""
+        if self.total_failures == 0:
+            return 0.0
+        return self.recovered / self.total_failures
+
+
+class OnlineRecoveryController:
+    """Per-link online decision: is recovery worth its overhead right now?
+
+    The paper (Section VII-A) notes that PPR-style recovery "is only
+    necessary for some special cases" and proposes "an online dynamic
+    recovery scheme which could identify the recover-demand for different
+    links" as future work.  This controller implements that idea: it
+    watches a sliding window of reception outcomes on one link and enables
+    recovery only while the expected airtime *saved* (recoverable packets
+    that would otherwise be retransmitted in full) exceeds the airtime
+    *spent* (per-packet recovery overhead on every failure handled).
+
+    The decision rule per window:
+
+        enable  iff  recoverable_rate * (1 - overhead) > overhead * crc_ok_rate_margin
+
+    simplified to: the recoverable fraction of all traffic must exceed
+    ``activation_threshold`` (default derived from the overhead fraction).
+    """
+
+    def __init__(
+        self,
+        config: RecoveryConfig | None = None,
+        window: int = 100,
+        activation_margin: float = 1.0,
+    ) -> None:
+        if window < 10:
+            raise ValueError("window must be >= 10 receptions")
+        if activation_margin <= 0:
+            raise ValueError("activation_margin must be > 0")
+        self.config = config if config is not None else RecoveryConfig()
+        self.window = window
+        self.activation_margin = activation_margin
+        self._outcomes: list = []  # (crc_ok, recoverable) booleans
+        self.enabled = False
+        self.decision_changes = 0
+
+    def record(self, reception: FrameReception) -> None:
+        recoverable = (not reception.crc_ok) and (
+            reception.total_bits > 0
+            and reception.error_fraction <= self.config.max_error_fraction
+        )
+        self._outcomes.append((reception.crc_ok, recoverable))
+        if len(self._outcomes) > self.window:
+            self._outcomes.pop(0)
+        self._decide()
+
+    @property
+    def recoverable_fraction(self) -> float:
+        """Share of recent traffic that recovery would rescue."""
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for _, r in self._outcomes if r) / len(self._outcomes)
+
+    @property
+    def activation_threshold(self) -> float:
+        """Recoverable fraction above which recovery pays for itself.
+
+        A recovered packet saves one full retransmission (airtime 1.0) and
+        costs ``overhead_fraction``; running the scheme costs overhead on
+        the recoverable packets only, so break-even is at
+        ``overhead / (1 + overhead)`` of traffic, scaled by the margin.
+        """
+        overhead = self.config.overhead_fraction
+        return self.activation_margin * overhead / (1.0 + overhead)
+
+    def _decide(self) -> None:
+        if len(self._outcomes) < self.window // 2:
+            return  # not enough evidence yet
+        should_enable = self.recoverable_fraction > self.activation_threshold
+        if should_enable != self.enabled:
+            self.enabled = should_enable
+            self.decision_changes += 1
+
+
+class PacketRecovery:
+    """Classifies receptions and accumulates :class:`RecoveryStats`."""
+
+    def __init__(self, config: RecoveryConfig | None = None) -> None:
+        self.config = config if config is not None else RecoveryConfig()
+        self.stats = RecoveryStats()
+
+    def is_recoverable(self, reception: FrameReception) -> bool:
+        """Would PPR reconstruct this CRC-failed reception?"""
+        if reception.crc_ok:
+            return True
+        if reception.total_bits == 0:
+            return False
+        return reception.error_fraction <= self.config.max_error_fraction
+
+    def record(self, reception: FrameReception) -> None:
+        """Feed one finished reception into the statistics."""
+        if reception.crc_ok:
+            self.stats.crc_ok += 1
+            return
+        if self.is_recoverable(reception):
+            self.stats.recovered += 1
+            airtime = reception.end_time - reception.start_time
+            self.stats.overhead_airtime_s += airtime * self.config.overhead_fraction
+        else:
+            self.stats.unrecoverable += 1

@@ -1,0 +1,30 @@
+"""802.11b contrast substrate (paper Fig. 2 only).
+
+802.11b receivers lock onto partially-overlapped-channel packets; 802.15.4
+receivers cannot.  This package provides the minimal 11b PHY/MAC needed to
+demonstrate that behavioural difference with the shared simulation kernel.
+"""
+
+from .link import SeparationResult, run_dot15_separation, run_separation
+from .phy11b import (
+    DOT11B_BIT_RATE_BPS,
+    DOT11B_CHANNEL_1_MHZ,
+    DOT11B_CHANNEL_SPACING_MHZ,
+    Dot11Radio,
+    dot11b_channel_mhz,
+    dot11b_mac_params,
+    dot11b_mask,
+)
+
+__all__ = [
+    "SeparationResult",
+    "run_dot15_separation",
+    "run_separation",
+    "DOT11B_BIT_RATE_BPS",
+    "DOT11B_CHANNEL_1_MHZ",
+    "DOT11B_CHANNEL_SPACING_MHZ",
+    "Dot11Radio",
+    "dot11b_channel_mhz",
+    "dot11b_mac_params",
+    "dot11b_mask",
+]

@@ -1,0 +1,15 @@
+"""Experiment harness: scenarios, runner, metrics and the exhibit registry."""
+
+from . import analysis, metrics, registry, runner, scenarios, stats, timeline
+from .results import ResultTable
+
+__all__ = [
+    "analysis",
+    "metrics",
+    "registry",
+    "runner",
+    "scenarios",
+    "stats",
+    "timeline",
+    "ResultTable",
+]

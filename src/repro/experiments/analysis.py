@@ -1,0 +1,165 @@
+"""Deployment diagnostics: why does a configuration behave as it does?
+
+These helpers answer the questions that come up when planning a
+non-orthogonal deployment or debugging a disappointing one:
+
+- :func:`link_budget_report` — per-link mean RSS / SNR / expected clean-air
+  PER (is the link healthy at all?).
+- :func:`blocking_report` — for each sender, which transmitters (own- or
+  cross-channel) currently trip its CCA at mean RSS (who is silencing
+  whom?).
+- :func:`threshold_report` — every node's current CCA threshold and, for
+  DCN nodes, its adjustment history length (has the adjustor settled?).
+- :func:`interference_margin_report` — per link, the SINR margin over the
+  decode cliff against each potential cross-channel interferer (who can
+  corrupt whom?).
+
+All are static analyses over mean path loss (fading excluded), cheap
+enough to run before committing to a long simulation.
+"""
+
+from __future__ import annotations
+
+from ..net.deployment import Deployment
+from ..phy.modulation import oqpsk_ber, packet_error_rate
+from .results import ResultTable
+
+__all__ = [
+    "link_budget_report",
+    "blocking_report",
+    "threshold_report",
+    "interference_margin_report",
+]
+
+#: In-band SINR below which a ~60-byte frame is effectively lost.
+DECODE_CLIFF_DB = 5.5
+
+
+def _mean_rss(deployment: Deployment, tx_node, rx_node) -> float:
+    return deployment.path_loss.received_power_dbm(
+        tx_node.tx_power_dbm, tx_node.position, rx_node.position
+    )
+
+
+def link_budget_report(deployment: Deployment) -> ResultTable:
+    """Mean RSS, SNR over the noise floor and clean-air PER per link."""
+    table = ResultTable("Link budgets")
+    for network in deployment.networks:
+        for link in network.spec.links:
+            sender = deployment.node(link.sender)
+            receiver = deployment.node(link.receiver)
+            rss = _mean_rss(deployment, sender, receiver)
+            noise = receiver.radio.config.noise_floor_dbm
+            snr = rss - noise
+            bits = 8 * (60 + 19)  # representative frame
+            per = packet_error_rate(oqpsk_ber(snr), bits)
+            table.add_row(
+                network=network.label,
+                link=f"{link.sender}->{link.receiver}",
+                rss_dbm=rss,
+                snr_db=snr,
+                clean_air_per=per,
+            )
+    return table
+
+
+def blocking_report(deployment: Deployment) -> ResultTable:
+    """Which transmitters trip each sender's CCA at mean RSS?
+
+    For every (sender, other-transmitter) pair, computes the sensed power
+    of the other's transmission through the sender's CCA mask and compares
+    it with the sender's *current* threshold.
+    """
+    table = ResultTable("CCA blocking pairs (mean RSS)")
+    senders = [
+        deployment.node(link.sender)
+        for network in deployment.networks
+        for link in network.spec.links
+    ]
+    for victim in senders:
+        threshold = victim.mac.cca_policy.threshold_dbm()
+        blockers_same = []
+        blockers_cross = []
+        for other in senders:
+            if other is victim:
+                continue
+            rss = _mean_rss(deployment, other, victim)
+            offset = other.channel_mhz - victim.channel_mhz
+            sensed = rss - victim.radio.cca_mask.leakage_db(offset)
+            if sensed > threshold:
+                if abs(offset) <= victim.radio.config.co_channel_tolerance_mhz:
+                    blockers_same.append(other.name)
+                else:
+                    blockers_cross.append(other.name)
+        table.add_row(
+            sender=victim.name,
+            threshold_dbm=threshold,
+            co_channel_blockers=len(blockers_same),
+            cross_channel_blockers=len(blockers_cross),
+            cross_names=",".join(blockers_cross) if blockers_cross else "-",
+        )
+    table.add_note(
+        "cross_channel_blockers > 0 means inter-channel leakage silences "
+        "this sender — the concurrency DCN is designed to reclaim"
+    )
+    return table
+
+
+def threshold_report(deployment: Deployment) -> ResultTable:
+    """Current CCA threshold per node (and DCN adjustment count)."""
+    table = ResultTable("CCA thresholds")
+    for name, node in deployment.nodes.items():
+        policy = node.mac.cca_policy
+        history = policy.history()
+        threshold = policy.threshold_dbm()
+        table.add_row(
+            node=name,
+            policy=policy.describe(),
+            threshold_dbm=threshold
+            if threshold not in (float("inf"), float("-inf"))
+            else str(threshold),
+            adjustments=max(0, len(history) - 1),
+        )
+    return table
+
+
+def interference_margin_report(deployment: Deployment) -> ResultTable:
+    """SINR margin of every link against its worst cross-channel interferer.
+
+    A negative margin means a single overlapping transmission from that
+    interferer corrupts the link's packets (at mean RSS).
+    """
+    table = ResultTable("Interference margins (worst single interferer)")
+    transmitters = [
+        deployment.node(link.sender)
+        for network in deployment.networks
+        for link in network.spec.links
+    ]
+    for network in deployment.networks:
+        for link in network.spec.links:
+            sender = deployment.node(link.sender)
+            receiver = deployment.node(link.receiver)
+            signal = _mean_rss(deployment, sender, receiver)
+            worst_name = "-"
+            worst_margin = float("inf")
+            for interferer in transmitters:
+                if interferer.name in (link.sender, link.receiver):
+                    continue
+                offset = interferer.channel_mhz - receiver.channel_mhz
+                if abs(offset) <= receiver.radio.config.co_channel_tolerance_mhz:
+                    continue  # co-channel handled by CSMA, not this report
+                rss = _mean_rss(deployment, interferer, receiver)
+                inband = rss - receiver.radio.mask.leakage_db(offset)
+                margin = (signal - inband) - DECODE_CLIFF_DB
+                if margin < worst_margin:
+                    worst_margin = margin
+                    worst_name = interferer.name
+            table.add_row(
+                link=f"{link.sender}->{link.receiver}",
+                worst_interferer=worst_name,
+                margin_db=worst_margin if worst_margin != float("inf") else None,
+            )
+    table.add_note(
+        "margin < 0: that interferer alone corrupts this link on overlap"
+    )
+    return table

@@ -1,0 +1,5 @@
+"""One module per paper exhibit (figure/table) plus ablations.
+
+Every module exposes ``run(seed=..., fast=...) -> ResultTable`` and is
+registered in :mod:`repro.experiments.registry`.
+"""

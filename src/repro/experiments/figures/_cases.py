@@ -1,0 +1,70 @@
+"""Shared three-way comparison for the Cases I-III figures (Figs. 25-27).
+
+Each case compares, averaged over seeds:
+
+- **ZigBee**: 4 channels @ 5 MHz, fixed CCA;
+- **w/o DCN**: 6 channels @ 3 MHz, fixed CCA;
+- **with DCN**: 6 channels @ 3 MHz, DCN everywhere.
+
+Per the paper, node powers are uniform in [-22, 0] dBm in all cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ...net.deployment import Deployment
+from ..results import ResultTable
+from ..runner import run_deployment
+from ..scenarios import dcn_policy_factory, evaluation_plan
+
+__all__ = ["three_way"]
+
+CaseBuilder = Callable[..., Deployment]
+
+
+def three_way(
+    title: str,
+    case_builder: CaseBuilder,
+    seeds: Sequence[int],
+    duration_s: float,
+    paper_note: str,
+) -> ResultTable:
+    """Run the ZigBee / w/o DCN / with DCN triple and tabulate."""
+    sums = {"zigbee": 0.0, "without_dcn": 0.0, "with_dcn": 0.0}
+    for seed in seeds:
+        zig = run_deployment(
+            case_builder(evaluation_plan(5.0), seed=seed), duration_s
+        )
+        without = run_deployment(
+            case_builder(evaluation_plan(3.0), seed=seed), duration_s
+        )
+        with_dcn = run_deployment(
+            case_builder(
+                evaluation_plan(3.0), seed=seed,
+                policy_factory=dcn_policy_factory(),
+            ),
+            duration_s,
+        )
+        sums["zigbee"] += zig.overall_throughput_pps
+        sums["without_dcn"] += without.overall_throughput_pps
+        sums["with_dcn"] += with_dcn.overall_throughput_pps
+    n = len(seeds)
+    zigbee = sums["zigbee"] / n
+    without = sums["without_dcn"] / n
+    with_dcn = sums["with_dcn"] / n
+
+    table = ResultTable(title)
+    table.add_row(design="ZigBee (4ch @5MHz)", overall_pps=zigbee)
+    table.add_row(design="w/o DCN (6ch @3MHz)", overall_pps=without)
+    table.add_row(design="with DCN (6ch @3MHz)", overall_pps=with_dcn)
+    if without:
+        table.add_note(
+            f"DCN over w/o-DCN: +{100.0 * (with_dcn / without - 1.0):.1f}%"
+        )
+    if zigbee:
+        table.add_note(
+            f"DCN over ZigBee: +{100.0 * (with_dcn / zigbee - 1.0):.1f}%"
+        )
+    table.add_note(paper_note)
+    return table

@@ -1,0 +1,60 @@
+"""Shared runs for the Section VI-A five-network figures (Figs. 14-18).
+
+Figs. 14-18 all draw on the same grid of conditions — CFD in {2, 3} MHz ×
+CCA scheme in {fixed everywhere, DCN only on N0, DCN on all} — so the runs
+are memoised per (cfd, scheme, seed, duration) within the process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Literal
+
+from ..runner import RunResult, run_deployment
+from ..scenarios import (
+    dcn_only_on,
+    dcn_policy_factory,
+    five_network_plan,
+    standard_testbed,
+)
+
+__all__ = ["run_condition", "Scheme"]
+
+Scheme = Literal["fixed", "dcn_n0", "dcn_all"]
+
+_FACTORIES = {
+    "fixed": lambda: None,
+    "dcn_n0": lambda: dcn_only_on(["N0"]),
+    "dcn_all": dcn_policy_factory,
+}
+
+
+@lru_cache(maxsize=64)
+def run_condition(
+    cfd_mhz: float, scheme: Scheme, seed: int, duration_s: float
+) -> RunResult:
+    """One measured run of the five-network testbed."""
+    factory = _FACTORIES[scheme]()
+    deployment = standard_testbed(
+        five_network_plan(cfd_mhz), seed=seed, policy_factory=factory
+    )
+    return run_deployment(deployment, duration_s)
+
+
+def averaged(cfd_mhz: float, scheme: Scheme, seeds, duration_s: float):
+    """RunResults for several seeds (memoised individually)."""
+    return [run_condition(cfd_mhz, scheme, s, duration_s) for s in seeds]
+
+
+def mean_network_tput(results, label: str) -> float:
+    return sum(r.network(label).throughput_pps for r in results) / len(results)
+
+
+def mean_overall(results) -> float:
+    return sum(r.overall_throughput_pps for r in results) / len(results)
+
+
+def mean_others(results, excluded: str) -> float:
+    return sum(
+        sum(m.throughput_pps for m in r.except_network(excluded)) for r in results
+    ) / len(results)

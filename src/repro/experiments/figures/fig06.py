@@ -1,0 +1,39 @@
+"""Fig. 6 — Link throughput vs CCA threshold (no co-channel interference).
+
+The Fig. 5 rig: one probe link, four neighbouring-channel interferer
+networks (±3, ±6 MHz), everything at 0 dBm.  As the probe sender's CCA
+threshold relaxes from -120 toward -20 dBm, it stops deferring to
+inter-channel leakage: sent *and* received packets rise together (the
+leakage is tolerable, PRR stays ~100 %), exposing how conservative the
+-77 dBm default is.
+"""
+
+from __future__ import annotations
+
+from ..results import ResultTable
+from ._cca_sweep import DEFAULT_THRESHOLDS_DBM, sweep_cca
+
+__all__ = ["run"]
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    duration_s = 2.0 if fast else 8.0
+    thresholds = (
+        (-120.0, -90.0, -77.0, -60.0, -40.0) if fast else DEFAULT_THRESHOLDS_DBM
+    )
+    points = sweep_cca(
+        thresholds, seed=seed, duration_s=duration_s, n_co_channel_links=0
+    )
+    table = ResultTable("Fig. 6: link throughput vs CCA threshold (no co-channel)")
+    for point in points:
+        table.add_row(
+            threshold_dbm=point.threshold_dbm,
+            sent_pps=point.sent_pps,
+            received_pps=point.received_pps,
+            prr=point.prr,
+        )
+    table.add_note(
+        "paper: sent==received rise together as the threshold relaxes; "
+        "PRR ~100% throughout; -77 dBm default sits mid-slope"
+    )
+    return table

@@ -1,0 +1,34 @@
+"""Fig. 7 — Overall throughput vs CCA threshold (no co-channel case).
+
+Same runs as Fig. 6, but summing throughput across the probe link *and*
+the four neighbouring-channel networks: the probe's gain is not stolen
+from the neighbours — inter-channel concurrency is genuinely additive.
+"""
+
+from __future__ import annotations
+
+from ..results import ResultTable
+from ._cca_sweep import DEFAULT_THRESHOLDS_DBM, sweep_cca
+
+__all__ = ["run"]
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    duration_s = 2.0 if fast else 8.0
+    thresholds = (
+        (-120.0, -90.0, -77.0, -60.0, -40.0) if fast else DEFAULT_THRESHOLDS_DBM
+    )
+    points = sweep_cca(
+        thresholds, seed=seed, duration_s=duration_s, n_co_channel_links=0
+    )
+    table = ResultTable("Fig. 7: overall throughput vs CCA threshold (no co-channel)")
+    for point in points:
+        table.add_row(
+            threshold_dbm=point.threshold_dbm,
+            overall_pps=point.overall_pps,
+        )
+    table.add_note(
+        "paper: overall throughput grows as the probe's threshold relaxes — "
+        "the concurrency is additive, not zero-sum"
+    )
+    return table

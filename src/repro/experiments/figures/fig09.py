@@ -1,0 +1,43 @@
+"""Fig. 9 — Link throughput vs CCA threshold at different transmit powers.
+
+The Fig. 8 rig (with co-channel competitors at 0 dBm), probe link power in
+{-8, -11, -15, -22, -33} dBm.  Relaxing the threshold helps at every
+power; the absolute level scales with the link's SINR headroom.
+"""
+
+from __future__ import annotations
+
+from ..results import ResultTable
+from ._cca_sweep import sweep_cca
+
+__all__ = ["run", "POWERS_DBM", "THRESHOLDS_DBM"]
+
+POWERS_DBM = (-8.0, -11.0, -15.0, -22.0, -33.0)
+THRESHOLDS_DBM = (-120.0, -90.0, -77.0, -70.0, -60.0, -50.0)
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    duration_s = 2.0 if fast else 6.0
+    thresholds = (-120.0, -77.0, -60.0) if fast else THRESHOLDS_DBM
+    powers = POWERS_DBM[:2] + POWERS_DBM[-1:] if fast else POWERS_DBM
+    table = ResultTable("Fig. 9: link throughput vs CCA threshold per tx power")
+    for power in powers:
+        points = sweep_cca(
+            thresholds,
+            seed=seed,
+            duration_s=duration_s,
+            link_power_dbm=power,
+            n_co_channel_links=3,
+        )
+        for point in points:
+            table.add_row(
+                power_dbm=power,
+                threshold_dbm=point.threshold_dbm,
+                sent_pps=point.sent_pps,
+                received_pps=point.received_pps,
+            )
+    table.add_note(
+        "paper: relaxing the threshold improves throughput at every power; "
+        "gain magnitude grows with power"
+    )
+    return table

@@ -1,0 +1,36 @@
+"""Fig. 18 — Overall throughput, CFD 2 vs 3 MHz, DCN on all networks.
+
+The CFD-selection result: with DCN everywhere, 3 MHz spacing beats 2 MHz
+(the paper quotes ~1.37x and ~10 % DCN gain at 3 MHz), which is why the
+final non-orthogonal design uses CFD = 3 MHz.
+"""
+
+from __future__ import annotations
+
+from ..results import ResultTable
+from ._five_networks import averaged, mean_overall
+
+__all__ = ["run", "CFD_VALUES_MHZ"]
+
+CFD_VALUES_MHZ = (2.0, 3.0)
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    seeds = (seed,) if fast else (seed, seed + 1, seed + 2)
+    duration_s = 3.0 if fast else 6.0
+    table = ResultTable("Fig. 18: overall throughput vs CFD (DCN on all)")
+    overall_by_cfd = {}
+    for cfd in CFD_VALUES_MHZ:
+        without = mean_overall(averaged(cfd, "fixed", seeds, duration_s))
+        with_dcn = mean_overall(averaged(cfd, "dcn_all", seeds, duration_s))
+        overall_by_cfd[cfd] = with_dcn
+        table.add_row(
+            cfd_mhz=cfd,
+            without_pps=without,
+            with_dcn_pps=with_dcn,
+            dcn_gain_pct=100.0 * (with_dcn / without - 1.0) if without else 0.0,
+        )
+    ratio = overall_by_cfd[3.0] / overall_by_cfd[2.0] if overall_by_cfd[2.0] else 0.0
+    table.add_note(f"CFD3/CFD2 with DCN = {ratio:.2f} (paper: ~1.37)")
+    table.add_note("paper: ~10% DCN gain at CFD=3 MHz, ~1300 pkt/s overall")
+    return table

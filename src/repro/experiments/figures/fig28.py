@@ -1,0 +1,73 @@
+"""Fig. 28 — Packet recovery under severe inter-channel interference.
+
+The Section IV rig with the probe link at -22 dBm against 0 dBm
+neighbouring-channel interferers.  Sweeping the probe's CCA threshold
+shows a persistent gap between packets sent and packets received (CRC
+failures caused by inter-channel interference).  A PPR-style recovery
+scheme (Section VII-A) closes most of that gap: the "recoverable" series
+counts CRC-failed packets whose error-bit fraction is small enough to
+reconstruct.
+"""
+
+from __future__ import annotations
+
+from ...core.recovery import PacketRecovery, RecoveryConfig
+from ...mac.cca import FixedCcaThreshold
+from ..metrics import snapshot_deployment
+from ..results import ResultTable
+from ..scenarios import section_iv_rig
+
+__all__ = ["run", "LINK_POWER_DBM", "THRESHOLDS_DBM"]
+
+LINK_POWER_DBM = -22.0
+THRESHOLDS_DBM = (-120.0, -100.0, -90.0, -77.0, -70.0, -60.0, -50.0, -40.0)
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    duration_s = 3.0 if fast else 10.0
+    thresholds = (-120.0, -77.0, -60.0) if fast else THRESHOLDS_DBM
+    table = ResultTable("Fig. 28: packet recovery under severe interference")
+    for threshold in thresholds:
+        sent, received, recoverable = _run_point(threshold, seed, duration_s)
+        table.add_row(
+            threshold_dbm=threshold,
+            sent_pps=sent,
+            received_pps=received,
+            recoverable_pps=recoverable,
+        )
+    table.add_note(
+        "paper: visible sent-received gap at -22 dBm vs 0 dBm interferers; "
+        "the 'recoverable' series approaches the sent line"
+    )
+    return table
+
+
+def _run_point(threshold_dbm: float, seed: int, duration_s: float):
+    deployment = section_iv_rig(
+        seed=seed,
+        link_cca_policy=FixedCcaThreshold(threshold_dbm),
+        link_power_dbm=LINK_POWER_DBM,
+    )
+    recovery = PacketRecovery(RecoveryConfig(max_error_fraction=0.10))
+    receiver = deployment.node("probe.r0")
+    measuring = {"on": False}
+
+    def observe(reception):
+        if measuring["on"] and reception.frame.source == "probe.s0":
+            recovery.record(reception)
+
+    receiver.radio.add_frame_listener(observe)
+    deployment.start_traffic()
+    sim = deployment.sim
+    sim.run(1.0)
+    baseline = snapshot_deployment(deployment)
+    measuring["on"] = True
+    sim.run(sim.now + duration_s)
+
+    sent = (
+        deployment.node("probe.s0").mac.stats.since(baseline["probe.s0"]).sent
+        / duration_s
+    )
+    received = recovery.stats.crc_ok / duration_s
+    recoverable = recovery.stats.delivered_with_recovery / duration_s
+    return sent, received, recoverable

@@ -1,0 +1,46 @@
+"""Fig. 29 — Error-bit CDF of CRC-failed packets.
+
+Same severe-interference configuration as Fig. 28 (link at -22 dBm, relaxed
+threshold).  Most CRC-failed packets carry only a small share of errored
+bits — the paper highlights the point (0.1, 0.87): 87 % of failures have
+at most 10 % error bits, which is what makes PPR-style recovery worthwhile.
+"""
+
+from __future__ import annotations
+
+from ...mac.cca import FixedCcaThreshold
+from ...phy.errors import ErrorStats
+from ..results import ResultTable
+from ..scenarios import section_iv_rig
+
+__all__ = ["run", "THRESHOLDS"]
+
+LINK_POWER_DBM = -22.0
+RELAXED_THRESHOLD_DBM = -50.0
+THRESHOLDS = (0.02, 0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.0)
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    duration_s = 5.0 if fast else 20.0
+    deployment = section_iv_rig(
+        seed=seed,
+        link_cca_policy=FixedCcaThreshold(RELAXED_THRESHOLD_DBM),
+        link_power_dbm=LINK_POWER_DBM,
+    )
+    stats = ErrorStats()
+    receiver = deployment.node("probe.r0")
+
+    def observe(reception):
+        if reception.frame.source == "probe.s0":
+            stats.record(reception)
+
+    receiver.radio.add_frame_listener(observe)
+    deployment.start_traffic()
+    deployment.sim.run(1.0 + duration_s)
+
+    table = ResultTable("Fig. 29: error-bit CDF of CRC-failed packets")
+    for fraction, cdf in stats.cdf(THRESHOLDS):
+        table.add_row(error_bit_fraction=fraction, cumulative=cdf)
+    table.add_note(f"CRC-failed packets observed: {stats.count}")
+    table.add_note("paper anchor: CDF(0.10) ~ 0.87")
+    return table

@@ -1,0 +1,78 @@
+"""Fig. 30 — Throughput gain on a wider band (18 MHz, 7 channels).
+
+Section VII-B: with 18 MHz of spectrum the CFD = 3 MHz plan fits 7
+channels.  The paper reports the DCN gain growing from ~10 % (12 MHz,
+5 channels) to ~13 % (18 MHz, 7 channels), with the middle channels —
+which face the most neighbouring-channel interference — gaining the most.
+
+We reproduce the per-network gains on the wider band and the 12-vs-18 MHz
+overall comparison (fixed transmission power, as in the paper's VII-B
+re-run).  In our substrate the relative gain holds on the wider band but
+stays roughly constant rather than growing — the per-channel blocking at
+our calibrated leakage levels saturates by five channels.
+"""
+
+from __future__ import annotations
+
+from ..results import ResultTable
+from ..runner import run_deployment
+from ..scenarios import (
+    dcn_policy_factory,
+    five_network_plan,
+    standard_testbed,
+    wideband_plan,
+)
+
+__all__ = ["run"]
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    duration_s = 3.0 if fast else 8.0
+    plan = wideband_plan()
+    without = run_deployment(standard_testbed(plan, seed=seed), duration_s)
+    with_dcn = run_deployment(
+        standard_testbed(plan, seed=seed, policy_factory=dcn_policy_factory()),
+        duration_s,
+    )
+    table = ResultTable("Fig. 30: per-network gain on an 18 MHz band (7 channels)")
+    for w, d in zip(without.networks, with_dcn.networks):
+        table.add_row(
+            network=w.label,
+            without_pps=w.throughput_pps,
+            with_dcn_pps=d.throughput_pps,
+            gain_pct=100.0 * (d.throughput_pps / w.throughput_pps - 1.0)
+            if w.throughput_pps
+            else 0.0,
+        )
+    wide_gain = (
+        100.0
+        * (with_dcn.overall_throughput_pps / without.overall_throughput_pps - 1.0)
+        if without.overall_throughput_pps
+        else 0.0
+    )
+    # The 12 MHz reference for the paper's "10% -> 13%" comparison.
+    narrow_plan = five_network_plan(3.0)
+    narrow_without = run_deployment(
+        standard_testbed(narrow_plan, seed=seed), duration_s
+    )
+    narrow_with = run_deployment(
+        standard_testbed(
+            narrow_plan, seed=seed, policy_factory=dcn_policy_factory()
+        ),
+        duration_s,
+    )
+    narrow_gain = (
+        100.0
+        * (
+            narrow_with.overall_throughput_pps
+            / narrow_without.overall_throughput_pps
+            - 1.0
+        )
+        if narrow_without.overall_throughput_pps
+        else 0.0
+    )
+    table.add_note(
+        f"overall DCN gain: 18 MHz +{wide_gain:.1f}% vs 12 MHz "
+        f"+{narrow_gain:.1f}% (paper: ~13% vs ~10%)"
+    )
+    return table

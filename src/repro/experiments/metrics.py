@@ -1,0 +1,126 @@
+"""Metrics computed from deployment runs.
+
+The paper reports: per-network and overall throughput (packets/s delivered
+to intended receivers), packet receive rate (PRR), collided-packet receive
+rate (CPRR), fairness across networks, and the error-bit CDF of CRC-failed
+packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from ..mac.stats import MacStats
+from ..net.deployment import Deployment, Network
+
+__all__ = [
+    "NetworkMeasurement",
+    "jain_fairness",
+    "measure_networks",
+    "throughput_pps",
+]
+
+
+@dataclass(frozen=True)
+class NetworkMeasurement:
+    """Windowed counters for one network."""
+
+    label: str
+    channel_mhz: float
+    duration_s: float
+    sent: int
+    delivered: int
+    crc_failures: int
+    access_failures: int
+    cca_attempts: int
+    cca_busy: int
+
+    @property
+    def throughput_pps(self) -> float:
+        return self.delivered / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def offered_pps(self) -> float:
+        return self.sent / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def prr(self) -> float:
+        """Delivered over sent: the paper's packet receive rate."""
+        if self.sent == 0:
+            return 0.0
+        return self.delivered / self.sent
+
+    @property
+    def cca_busy_ratio(self) -> float:
+        if self.cca_attempts == 0:
+            return 0.0
+        return self.cca_busy / self.cca_attempts
+
+
+def throughput_pps(measurements: Sequence[NetworkMeasurement]) -> float:
+    """Aggregate throughput over a set of network measurements."""
+    return sum(m.throughput_pps for m in measurements)
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal, 1/n = maximally unfair."""
+    if not values:
+        raise ValueError("jain_fairness needs at least one value")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def snapshot_deployment(deployment: Deployment) -> Dict[str, MacStats]:
+    """Per-node stat snapshots keyed by node name."""
+    return {name: node.mac.stats.snapshot() for name, node in deployment.nodes.items()}
+
+
+def measure_networks(
+    deployment: Deployment,
+    baseline: Mapping[str, MacStats],
+    duration_s: float,
+) -> List[NetworkMeasurement]:
+    """Windowed per-network counters: current stats minus ``baseline``.
+
+    ``sent`` aggregates over the network's link senders; ``delivered`` over
+    its link receivers — matching how the paper instruments throughput (the
+    receiver side of each flow).
+    """
+    measurements = []
+    for network in deployment.networks:
+        sent = 0
+        delivered = 0
+        crc_failures = 0
+        access_failures = 0
+        cca_attempts = 0
+        cca_busy = 0
+        sender_names = set(network.spec.senders)
+        receiver_names = set(network.spec.receivers)
+        for node in network.nodes:
+            delta = node.mac.stats.since(baseline[node.name])
+            if node.name in sender_names:
+                sent += delta.sent
+                access_failures += delta.access_failures
+                cca_attempts += delta.cca_attempts
+                cca_busy += delta.cca_busy
+            if node.name in receiver_names:
+                delivered += delta.delivered
+                crc_failures += delta.crc_failures
+        measurements.append(
+            NetworkMeasurement(
+                label=network.label,
+                channel_mhz=network.channel_mhz,
+                duration_s=duration_s,
+                sent=sent,
+                delivered=delivered,
+                crc_failures=crc_failures,
+                access_failures=access_failures,
+                cca_attempts=cca_attempts,
+                cca_busy=cca_busy,
+            )
+        )
+    return measurements

@@ -1,0 +1,171 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every exhibit.
+
+Usage::
+
+    python -m repro.experiments.report [--fast] [--seed N] [--out PATH]
+
+Runs every registered experiment (paper profile by default, which averages
+seeds and uses longer measurement windows) and renders a Markdown report
+pairing each exhibit's paper claim with the measured table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict
+
+from .registry import REGISTRY
+from .results import ResultTable
+
+__all__ = ["PAPER_CLAIMS", "render_report", "main"]
+
+#: What the paper reports for each exhibit — the comparison column.
+PAPER_CLAIMS: Dict[str, str] = {
+    "fig01": "Throughput peaks at CFD=3 MHz; >40% over the 5 MHz ZigBee "
+             "default; 9 MHz (orthogonal, 1 channel) is worst; 2 MHz stops "
+             "helping.",
+    "fig02": "802.11b: normalized throughput depressed (~0.5-0.7) until "
+             "channels are far apart (receiver false-locks on overlapped-"
+             "channel packets). 802.15.4: ~1.0 from one channel apart "
+             "(receiver cannot decode off-channel packets at all).",
+    "fig04": "CPRR >= 4 MHz: 100% for attacker and normal sender; 3 MHz: "
+             "~97%; 2 MHz: ~70%; 1 MHz: <20%.",
+    "fig06": "Sent and received rise together as the threshold relaxes; "
+             "PRR stays ~100%; the -77 dBm default sits mid-slope "
+             "(conservative).",
+    "fig07": "Overall throughput across all five channels also grows — "
+             "the reclaimed concurrency is additive.",
+    "fig08": "Received tracks sent only while the threshold stays below "
+             "the minimum co-channel RSS; beyond it, sent keeps rising but "
+             "collisions break the link ('disaster').",
+    "fig09": "Relaxing the threshold improves throughput at every link "
+             "power; the absolute gain grows with power.",
+    "fig10": "PRR ~100% for link power >= -15 dBm; >80% at -22 dBm vs "
+             "0 dBm interferers; poor at -33 dBm.",
+    "fig14": "DCN only on N0: ~27% N0 throughput gain at CFD 2 and 3 MHz; "
+             "at 3 MHz N0 reaches ~250 pkt/s (the orthogonal single-channel "
+             "level).",
+    "fig15": "The other networks (fixed CCA) lose ~5% to N0's unilateral "
+             "relaxation.",
+    "fig16": "CFD=2 MHz, DCN on all: every network improves.",
+    "fig17": "CFD=3 MHz, DCN on all: every network improves; N0 (middle) "
+             "+16.5%, N4 (edge) +4.6%.",
+    "fig18": "Overall with DCN: CFD=3 MHz ~1300 pkt/s = 1.37x CFD=2 MHz; "
+             "~10% DCN gain at 3 MHz.",
+    "fig19": "ZigBee 4ch@5MHz vs DCN 6ch@3MHz on 15 MHz: ~58% overall "
+             "improvement; ~5.4% per-network gain.",
+    "fig20": "N0 throughput rises with its power; PRR-limited regime below "
+             "~-15 dBm, CCA-relaxation regime above.",
+    "fig21": "Other networks' throughput is flat across N0's power range — "
+             "high co-channel power does not hurt neighbours at 3 MHz.",
+    "table1": "Per-network throughput 259.3-273.4 pkt/s — ~4% spread "
+              "despite unequal interference positions.",
+    "fig25": "Case I (one region): 983 / 1326 / 1521 pkt/s — DCN +14.7% "
+             "over w/o-DCN, +55.7% over ZigBee.",
+    "fig26": "Case II (clusters): 980 / 1382 / 1526 pkt/s — DCN +10.4% "
+             "over w/o-DCN.",
+    "fig27": "Case III (random): 983 / 1282 / 1361 pkt/s — DCN only +6.2% "
+             "over w/o-DCN (weak co-channel records pin the threshold), "
+             "+38.4% over ZigBee.",
+    "fig28": "-22 dBm link vs 0 dBm interferers: clear sent-received gap; "
+             "a PPR-style 'recoverable' series closes most of it.",
+    "fig29": "87% of CRC-failed packets have <= 10% error bits (the "
+             "(0.1, 0.87) point).",
+    "fig30": "18 MHz / 7 channels: ~13% DCN gain (vs ~10% at 12 MHz); "
+             "middle channels gain most.",
+    "ablation_margin": "(beyond paper) margin trades concurrency for "
+                       "co-channel safety headroom.",
+    "ablation_tu": "(beyond paper) T_U controls how fast the threshold "
+                   "re-relaxes after weak traffic disappears.",
+    "ablation_ti": "(beyond paper) the initializing phase mostly matters "
+                   "for safety at boot, not steady-state throughput.",
+    "ablation_oracle": "Sec. VII-C: perfect co-/inter-channel "
+                       "differentiation is the upper bound on threshold "
+                       "rules.",
+    "ablation_mode2": "Sec. VII-C realised with standard hardware: CCA "
+                      "mode 2 defers only to demodulable co-channel "
+                      "signals — how close does it get to the oracle?",
+    "ablation_energy": "(beyond paper) the paper's cost argument for the "
+                       "two-phase design, quantified: DCN's sensing energy "
+                       "is negligible and its throughput gain lowers "
+                       "energy per delivered packet.",
+    "ablation_orthogonal": "(beyond paper) the related-work ladder: a "
+                           "strictly orthogonal design (9 MHz) fits 2 "
+                           "channels in 15 MHz, ZigBee 4, DCN 6.",
+}
+
+
+def render_report(tables: Dict[str, ResultTable], elapsed_s: Dict[str, float],
+                  profile: str, seed: int) -> str:
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Reproduction of every table and figure in *Design of Non-orthogonal",
+        "Multi-channel Sensor Networks* (ICDCS 2010).  Absolute packet rates",
+        "are not expected to match the authors' MicaZ testbed (our substrate",
+        "is a calibrated simulator; see DESIGN.md §2); the reproduced",
+        "quantity is the **shape** — who wins, by roughly what factor, and",
+        "where the crossovers fall.",
+        "",
+        f"Generated with `python -m repro.experiments.report` "
+        f"(profile: {profile}, seed: {seed}).",
+        "",
+    ]
+    for eid, experiment in REGISTRY.items():
+        table = tables[eid]
+        lines.append(f"## {experiment.paper_exhibit} — {experiment.description}")
+        lines.append("")
+        lines.append(f"*Experiment id*: `{eid}` — regenerate with "
+                     f"`pytest benchmarks/bench_{eid.split('_')[0] if eid.startswith('ablation') else eid}.py --benchmark-only`"
+                     if not eid.startswith("ablation")
+                     else f"*Experiment id*: `{eid}` — regenerate with "
+                          f"`pytest benchmarks/bench_ablations.py --benchmark-only`")
+        lines.append("")
+        lines.append(f"**Paper**: {PAPER_CLAIMS.get(eid, '(n/a)')}")
+        lines.append("")
+        lines.append("**Measured**:")
+        lines.append("")
+        lines.append("```")
+        lines.append(table.to_text("{:.4g}"))
+        lines.append("```")
+        lines.append("")
+        lines.append(f"*(run time: {elapsed_s[eid]:.1f} s)*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="use the fast profile (shorter runs, one seed)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="restrict to these experiment ids")
+    args = parser.parse_args(argv)
+
+    tables: Dict[str, ResultTable] = {}
+    elapsed: Dict[str, float] = {}
+    ids = args.only if args.only else list(REGISTRY)
+    for eid in ids:
+        experiment = REGISTRY[eid]
+        print(f"[{eid}] {experiment.description} ...", flush=True)
+        start = time.time()
+        tables[eid] = experiment.run(seed=args.seed, fast=args.fast)
+        elapsed[eid] = time.time() - start
+        print(tables[eid].to_text("{:.4g}"))
+        print(f"  ({elapsed[eid]:.1f} s)", flush=True)
+
+    if not args.only:
+        profile = "fast" if args.fast else "paper"
+        report = render_report(tables, elapsed, profile, args.seed)
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Result containers: tables that render like the paper's exhibits.
+
+Every figure/table module produces a :class:`ResultTable` — ordered rows of
+named values — so benches and EXPERIMENTS.md can print consistent,
+diff-friendly output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """An ordered table with a title and free-form metadata.
+
+    Rows are dictionaries; the column order is the insertion order of the
+    first row (columns appearing later are appended).
+    """
+
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    def columns(self) -> List[str]:
+        cols: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key: str, value: Any) -> Dict[str, Any]:
+        """First row whose ``key`` column equals ``value``."""
+        for row in self.rows:
+            if row.get(key) == value:
+                return row
+        raise KeyError(f"no row with {key}={value!r} in table {self.title!r}")
+
+    def sum(self, name: str) -> float:
+        return float(sum(v for v in self.column(name) if v is not None))
+
+    # ------------------------------------------------------------------
+    def to_text(self, float_format: str = "{:.1f}") -> str:
+        """Monospace rendering, paper-table style."""
+        cols = self.columns()
+        rendered: List[List[str]] = [cols]
+        for row in self.rows:
+            cells = []
+            for col in cols:
+                value = row.get(col)
+                if value is None:
+                    cells.append("-")
+                elif isinstance(value, float):
+                    cells.append(float_format.format(value))
+                else:
+                    cells.append(str(value))
+            rendered.append(cells)
+        widths = [
+            max(len(line[i]) for line in rendered) for i in range(len(cols))
+        ]
+        out = [f"== {self.title} =="]
+        header, *body = rendered
+        out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        out.append("  ".join("-" * w for w in widths))
+        for line in body:
+            out.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+    def to_bar_chart(
+        self,
+        label_column: str,
+        value_column: str,
+        width: int = 50,
+        char: str = "#",
+    ) -> str:
+        """Render one numeric column as a horizontal ASCII bar chart.
+
+        Handy for eyeballing an exhibit in a terminal::
+
+            == Fig. 19 ... ==
+            ZigBee ... |######################           1023.3
+            DCN    ... |################################ 1524.3
+        """
+        pairs = [
+            (str(row.get(label_column)), row.get(value_column))
+            for row in self.rows
+            if isinstance(row.get(value_column), (int, float))
+        ]
+        if not pairs:
+            return f"== {self.title} == (no numeric data in {value_column!r})"
+        peak = max(value for _, value in pairs)
+        label_width = max(len(label) for label, _ in pairs)
+        lines = [f"== {self.title} =="]
+        for label, value in pairs:
+            bar_length = 0 if peak <= 0 else int(round(width * value / peak))
+            lines.append(
+                f"{label.ljust(label_width)} |{char * bar_length:<{width}} "
+                f"{value:.1f}"
+            )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        cols = self.columns()
+        lines = [",".join(cols)]
+        for row in self.rows:
+            lines.append(
+                ",".join(str(row.get(col, "")) for col in cols)
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()

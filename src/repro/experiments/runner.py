@@ -1,0 +1,74 @@
+"""Run deployments and collect windowed measurements.
+
+Every experiment follows the same measurement discipline:
+
+1. start traffic,
+2. run a *warm-up* long enough to cover DCN's initializing phase plus a
+   Case-II window (so thresholds have settled),
+3. snapshot all counters,
+4. run the *measurement window*,
+5. report counter deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.deployment import Deployment
+from .metrics import (
+    NetworkMeasurement,
+    jain_fairness,
+    measure_networks,
+    snapshot_deployment,
+    throughput_pps,
+)
+
+__all__ = ["RunResult", "run_deployment", "DEFAULT_WARMUP_S"]
+
+#: Covers DCN's T_I (1 s) + one T_U window (3 s) with margin.
+DEFAULT_WARMUP_S = 4.5
+
+
+@dataclass
+class RunResult:
+    """Outcome of one measured deployment run."""
+
+    networks: List[NetworkMeasurement]
+    warmup_s: float
+    duration_s: float
+
+    @property
+    def overall_throughput_pps(self) -> float:
+        return throughput_pps(self.networks)
+
+    @property
+    def fairness(self) -> float:
+        return jain_fairness([m.throughput_pps for m in self.networks])
+
+    def network(self, label: str) -> NetworkMeasurement:
+        for measurement in self.networks:
+            if measurement.label == label:
+                return measurement
+        raise KeyError(f"no measurement for network {label!r}")
+
+    def except_network(self, label: str) -> List[NetworkMeasurement]:
+        return [m for m in self.networks if m.label != label]
+
+
+def run_deployment(
+    deployment: Deployment,
+    duration_s: float,
+    warmup_s: Optional[float] = None,
+) -> RunResult:
+    """Warm up, then measure ``duration_s`` seconds of the deployment."""
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    warmup = DEFAULT_WARMUP_S if warmup_s is None else warmup_s
+    deployment.start_traffic()
+    if warmup > 0:
+        deployment.sim.run(deployment.sim.now + warmup)
+    baseline = snapshot_deployment(deployment)
+    deployment.sim.run(deployment.sim.now + duration_s)
+    measurements = measure_networks(deployment, baseline, duration_s)
+    return RunResult(networks=measurements, warmup_s=warmup, duration_s=duration_s)

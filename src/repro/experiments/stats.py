@@ -1,0 +1,74 @@
+"""Small statistics helpers for multi-seed experiment sweeps.
+
+Simulation experiments are stochastic in topology draws, fading and
+backoff; any number worth reporting should come with its spread.  These
+helpers keep that lightweight: run a deployment factory across seeds and
+summarise any scalar extractor with mean / standard deviation / a normal
+95 % confidence half-width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence
+
+from ..net.deployment import Deployment
+from .runner import RunResult, run_deployment
+
+__all__ = ["Summary", "summarize", "seed_sweep"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and spread of a scalar across repetitions."""
+
+    values: tuple
+    mean: float
+    std: float
+    ci95: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.ci95:.1f} (n={self.n})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Mean, sample standard deviation and normal 95 % CI half-width."""
+    data = tuple(float(v) for v in values)
+    if not data:
+        raise ValueError("summarize needs at least one value")
+    mean = sum(data) / len(data)
+    if len(data) == 1:
+        return Summary(data, mean, 0.0, 0.0)
+    variance = sum((v - mean) ** 2 for v in data) / (len(data) - 1)
+    std = math.sqrt(variance)
+    ci95 = 1.96 * std / math.sqrt(len(data))
+    return Summary(data, mean, std, ci95)
+
+
+def seed_sweep(
+    deployment_factory: Callable[[int], Deployment],
+    seeds: Sequence[int],
+    duration_s: float,
+    extract: Callable[[RunResult], float] = lambda r: r.overall_throughput_pps,
+    warmup_s: float | None = None,
+) -> Summary:
+    """Run ``deployment_factory(seed)`` per seed and summarise ``extract``.
+
+    Example — Fig. 19's headline with a confidence interval::
+
+        summary = seed_sweep(
+            lambda s: evaluation_testbed(evaluation_plan(3.0), seed=s,
+                                         policy_factory=dcn_policy_factory()),
+            seeds=range(5), duration_s=5.0)
+    """
+    values: List[float] = []
+    for seed in seeds:
+        deployment = deployment_factory(seed)
+        result = run_deployment(deployment, duration_s, warmup_s=warmup_s)
+        values.append(extract(result))
+    return summarize(values)

@@ -1,0 +1,17 @@
+"""802.15.4 MAC substrate: unslotted CSMA/CA with pluggable CCA policies."""
+
+from .cca import CcaPolicy, DisabledCca, FixedCcaThreshold
+from .csma import CsmaTransaction
+from .mac import Mac
+from .params import MacParams
+from .stats import MacStats
+
+__all__ = [
+    "CcaPolicy",
+    "DisabledCca",
+    "FixedCcaThreshold",
+    "CsmaTransaction",
+    "Mac",
+    "MacParams",
+    "MacStats",
+]

@@ -1,0 +1,74 @@
+"""Clear-channel-assessment policies.
+
+The MAC consults a :class:`CcaPolicy` for the energy-detection threshold on
+every CCA, and feeds it every frame the radio overhears (CRC-good or not,
+addressed to anyone) so that adaptive policies — the paper's DCN — can track
+co-channel RSSI.  The default ZigBee behaviour is a fixed −77 dBm threshold
+(:class:`FixedCcaThreshold`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from ..phy.constants import DEFAULT_CCA_THRESHOLD_DBM
+from ..phy.errors import FrameReception
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .mac import Mac
+
+__all__ = ["CcaPolicy", "FixedCcaThreshold", "DisabledCca"]
+
+
+class CcaPolicy:
+    """Interface the MAC uses to decide "is the channel clear?"."""
+
+    def attach(self, mac: "Mac") -> None:
+        """Called once when the policy is bound to a MAC.
+
+        Adaptive policies use this to grab the simulator/radio handles and
+        to schedule their own activity (e.g. DCN's initializing phase).
+        """
+
+    def threshold_dbm(self) -> float:
+        """Current energy-detection threshold."""
+        raise NotImplementedError
+
+    def on_frame_snooped(self, reception: FrameReception) -> None:
+        """Every frame the radio finished receiving (even CRC-failed)."""
+
+    def describe(self) -> str:
+        """Human-readable label for result tables."""
+        return type(self).__name__
+
+    def history(self) -> List[Tuple[float, float]]:
+        """Optional ``(time, threshold)`` trajectory for analysis."""
+        return []
+
+
+class FixedCcaThreshold(CcaPolicy):
+    """The default ZigBee design: a constant threshold (−77 dBm)."""
+
+    def __init__(self, threshold_dbm: float = DEFAULT_CCA_THRESHOLD_DBM) -> None:
+        self._threshold_dbm = threshold_dbm
+
+    def threshold_dbm(self) -> float:
+        return self._threshold_dbm
+
+    def describe(self) -> str:
+        return f"fixed({self._threshold_dbm:g} dBm)"
+
+
+class DisabledCca(CcaPolicy):
+    """Carrier sensing effectively off: the channel always looks clear.
+
+    Equivalent to an infinitely relaxed threshold; used by the paper's
+    concurrency experiments (Section III-B) together with
+    ``MacParams(csma_enabled=False)``.
+    """
+
+    def threshold_dbm(self) -> float:
+        return float("inf")
+
+    def describe(self) -> str:
+        return "disabled"

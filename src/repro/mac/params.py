@@ -1,0 +1,74 @@
+"""Unslotted CSMA/CA parameters (IEEE 802.15.4 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..phy.constants import (
+    CCA_DURATION_S,
+    TURNAROUND_TIME_S,
+    UNIT_BACKOFF_PERIOD_S,
+)
+
+__all__ = ["MacParams"]
+
+
+@dataclass(frozen=True)
+class MacParams:
+    """Parameters of the unslotted CSMA/CA algorithm.
+
+    The defaults are the IEEE 802.15.4 MAC PIB defaults, which are also what
+    the MicaZ/TinyOS stack in the paper's testbed ships with.
+
+    Attributes
+    ----------
+    mac_min_be / mac_max_be:
+        Backoff-exponent bounds (macMinBE / macMaxBE).
+    max_csma_backoffs:
+        macMaxCSMABackoffs: CCA failures tolerated before the frame is
+        dropped with a channel-access failure.
+    unit_backoff_s / cca_duration_s / turnaround_s:
+        PHY timing primitives; see :mod:`repro.phy.constants`.
+    csma_enabled:
+        When False the MAC transmits immediately with no carrier sensing —
+        the paper's "disable the carrier sense module" attacker mode
+        (Section III-B).
+    queue_limit:
+        Maximum frames held in the transmit queue.
+    ack_enabled:
+        When True, unicast data frames request acknowledgements and are
+        retransmitted on ACK timeout.  The paper's saturated-throughput
+        experiments run without ACKs (the default here).
+    max_frame_retries:
+        macMaxFrameRetries: retransmissions after the initial attempt.
+    ack_wait_s:
+        macAckWaitDuration: how long to wait for the acknowledgement
+        (default 54 symbols = 864 us: turnaround + ACK airtime + margin).
+    """
+
+    mac_min_be: int = 3
+    mac_max_be: int = 5
+    max_csma_backoffs: int = 4
+    unit_backoff_s: float = UNIT_BACKOFF_PERIOD_S
+    cca_duration_s: float = CCA_DURATION_S
+    turnaround_s: float = TURNAROUND_TIME_S
+    csma_enabled: bool = True
+    queue_limit: int = 8
+    ack_enabled: bool = False
+    max_frame_retries: int = 3
+    ack_wait_s: float = 54 * 16e-6
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mac_min_be <= self.mac_max_be:
+            raise ValueError(
+                f"need 0 <= mac_min_be <= mac_max_be, got "
+                f"{self.mac_min_be}/{self.mac_max_be}"
+            )
+        if self.max_csma_backoffs < 0:
+            raise ValueError("max_csma_backoffs must be >= 0")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.max_frame_retries < 0:
+            raise ValueError("max_frame_retries must be >= 0")
+        if self.ack_wait_s <= 0:
+            raise ValueError("ack_wait_s must be > 0")

@@ -1,0 +1,85 @@
+"""Per-MAC counters.
+
+These are the raw quantities every experiment metric is computed from:
+throughput = delivered / measurement window, PRR = delivered / sent, etc.
+Counters can be snapshotted and differenced so a measurement window can
+exclude warm-up (e.g. DCN's initializing phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["MacStats"]
+
+
+@dataclass
+class MacStats:
+    """Counters for one MAC instance.
+
+    Attributes
+    ----------
+    enqueued:
+        Frames accepted into the transmit queue.
+    queue_drops:
+        Frames rejected because the queue was full.
+    sent:
+        Frames whose transmission completed on air.
+    cca_attempts / cca_busy:
+        Individual CCA measurements and how many read busy.
+    access_failures:
+        Frames dropped after macMaxCSMABackoffs busy CCAs.
+    delivered:
+        CRC-good frames received *addressed to this node* (unicast match or
+        broadcast).
+    crc_failures:
+        Locked receptions that failed CRC.
+    snooped:
+        All finished receptions regardless of CRC/addressing (what the DCN
+        adjustor sees).
+    """
+
+    enqueued: int = 0
+    queue_drops: int = 0
+    sent: int = 0
+    cca_attempts: int = 0
+    cca_busy: int = 0
+    access_failures: int = 0
+    delivered: int = 0
+    crc_failures: int = 0
+    snooped: int = 0
+    delivered_bytes: int = 0
+    sent_bytes: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    ack_timeouts: int = 0
+    retransmissions: int = 0
+    retry_drops: int = 0
+
+    def snapshot(self) -> "MacStats":
+        """A copy of the current counter values."""
+        return MacStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def since(self, earlier: "MacStats") -> "MacStats":
+        """Counter deltas relative to an earlier snapshot."""
+        return MacStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def cca_busy_ratio(self) -> float:
+        if self.cca_attempts == 0:
+            return 0.0
+        return self.cca_busy / self.cca_attempts
+
+    @property
+    def prr(self) -> float:
+        """Delivered-over-sent is computed across *link* endpoints, not one
+        MAC; this property is the receive-side CRC success ratio instead."""
+        attempts = self.delivered + self.crc_failures
+        if attempts == 0:
+            return 0.0
+        return self.delivered / attempts

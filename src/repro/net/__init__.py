@@ -1,0 +1,58 @@
+"""Network layer: nodes, traffic, topologies, assignment and deployments."""
+
+from .assignment import (
+    assignment_cost,
+    interference_matrix,
+    min_interference_assignment,
+    orthogonal_assignment,
+    reassign,
+)
+from .deployment import Deployment, Network, PolicyFactory, zigbee_policy_factory
+from .node import Node
+from .topology import (
+    LinkSpec,
+    NetworkSpec,
+    NodeSpec,
+    PowerAssignment,
+    clustered_region_topology,
+    fixed_power,
+    one_region_topology,
+    random_power,
+    random_topology,
+    separated_clusters_topology,
+)
+from .traffic import (
+    DEFAULT_PAYLOAD_BYTES,
+    AttackerSource,
+    PoissonSource,
+    SaturatedSource,
+    TrafficSource,
+)
+
+__all__ = [
+    "assignment_cost",
+    "interference_matrix",
+    "min_interference_assignment",
+    "orthogonal_assignment",
+    "reassign",
+    "Deployment",
+    "Network",
+    "PolicyFactory",
+    "zigbee_policy_factory",
+    "Node",
+    "LinkSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "PowerAssignment",
+    "clustered_region_topology",
+    "fixed_power",
+    "one_region_topology",
+    "random_power",
+    "random_topology",
+    "separated_clusters_topology",
+    "DEFAULT_PAYLOAD_BYTES",
+    "AttackerSource",
+    "PoissonSource",
+    "SaturatedSource",
+    "TrafficSource",
+]

@@ -1,0 +1,101 @@
+"""Radio / channel substrate: CC2420-parameterised 802.15.4 PHY simulation.
+
+Layering (bottom up):
+
+- :mod:`~repro.phy.constants` — 802.15.4 / CC2420 datasheet numbers.
+- :mod:`~repro.phy.spectrum` — bands and non-orthogonal channel plans.
+- :mod:`~repro.phy.propagation` / :mod:`~repro.phy.fading` — link budgets.
+- :mod:`~repro.phy.mask` — spectral leakage (the calibrated heart of the
+  non-orthogonal interference model).
+- :mod:`~repro.phy.modulation` — BER-vs-SINR curves.
+- :mod:`~repro.phy.frame` — frame structure and airtime.
+- :mod:`~repro.phy.medium` / :mod:`~repro.phy.radio` /
+  :mod:`~repro.phy.reception` / :mod:`~repro.phy.errors` — the runtime.
+"""
+
+from .constants import (
+    BIT_RATE_BPS,
+    CCA_DURATION_S,
+    DEFAULT_CCA_THRESHOLD_DBM,
+    NOISE_FLOOR_DBM,
+    RX_SENSITIVITY_DBM,
+    TURNAROUND_TIME_S,
+    UNIT_BACKOFF_PERIOD_S,
+    channel_center_mhz,
+    pa_level_for_power,
+)
+from .errors import ErrorStats, FrameReception
+from .fading import FadingModel, LogNormalFading, NoFading
+from .frame import Frame, frame_airtime_s, payload_for_airtime
+from .mask import (
+    CC2420_LEAKAGE_POINTS,
+    CCA_EXTRA_REJECTION_DB,
+    PerfectOrthogonalMask,
+    PiecewiseLinearMask,
+    ShiftedMask,
+    SpectralMask,
+    default_cca_mask,
+    default_mask,
+)
+from .medium import Medium, Signal, Transmission
+from .modulation import dbpsk_ber, dqpsk_ber, oqpsk_ber, packet_error_rate
+from .propagation import (
+    FixedRssMatrix,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PathLossModel,
+    Position,
+    distance,
+)
+from .radio import Radio, RadioConfig, RadioState
+from .reception import Reception
+from .spectrum import EVALUATION_BAND, MOTIVATION_BAND, Band, ChannelPlan
+
+__all__ = [
+    "BIT_RATE_BPS",
+    "CCA_DURATION_S",
+    "DEFAULT_CCA_THRESHOLD_DBM",
+    "NOISE_FLOOR_DBM",
+    "RX_SENSITIVITY_DBM",
+    "TURNAROUND_TIME_S",
+    "UNIT_BACKOFF_PERIOD_S",
+    "channel_center_mhz",
+    "pa_level_for_power",
+    "ErrorStats",
+    "FrameReception",
+    "FadingModel",
+    "LogNormalFading",
+    "NoFading",
+    "Frame",
+    "frame_airtime_s",
+    "payload_for_airtime",
+    "CC2420_LEAKAGE_POINTS",
+    "CCA_EXTRA_REJECTION_DB",
+    "PerfectOrthogonalMask",
+    "PiecewiseLinearMask",
+    "ShiftedMask",
+    "SpectralMask",
+    "default_cca_mask",
+    "default_mask",
+    "Medium",
+    "Signal",
+    "Transmission",
+    "dbpsk_ber",
+    "dqpsk_ber",
+    "oqpsk_ber",
+    "packet_error_rate",
+    "FixedRssMatrix",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "PathLossModel",
+    "Position",
+    "distance",
+    "Radio",
+    "RadioConfig",
+    "RadioState",
+    "Reception",
+    "EVALUATION_BAND",
+    "MOTIVATION_BAND",
+    "Band",
+    "ChannelPlan",
+]

@@ -1,0 +1,132 @@
+"""Radio energy accounting (CC2420 current-draw model).
+
+The paper justifies DCN's two-phase design on cost grounds: continuous
+in-channel power sensing is affordable only during the short initializing
+phase, while RSSI snooping afterwards is free.  This module makes that
+argument measurable: every radio accrues time-in-state, and
+:class:`EnergyModel` converts state durations (plus explicit sensing
+samples) into Joules using CC2420 datasheet currents.
+
+Currents (3.0 V supply):
+
+- receive / listen: 18.8 mA — the CC2420 listens at full RX current;
+- transmit: depends on PA level, 8.5 mA at -25 dBm up to 17.4 mA at 0 dBm;
+- each RSSI-register sample costs an SPI transaction on the host MCU
+  (~0.1 ms at ~8 mA, ATmega128L-class).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["EnergyModel", "EnergyAccumulator", "DEFAULT_ENERGY_MODEL"]
+
+#: (tx power dBm, current mA) — CC2420 datasheet output-power table.
+CC2420_TX_CURRENT_MA: Tuple[Tuple[float, float], ...] = (
+    (-25.0, 8.5),
+    (-15.0, 9.9),
+    (-10.0, 11.0),
+    (-7.0, 12.5),
+    (-5.0, 14.0),
+    (-3.0, 15.2),
+    (-1.0, 16.5),
+    (0.0, 17.4),
+)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Converts radio activity into energy."""
+
+    supply_voltage_v: float = 3.0
+    rx_current_ma: float = 18.8
+    tx_currents_ma: Tuple[Tuple[float, float], ...] = CC2420_TX_CURRENT_MA
+    #: Host-MCU cost of one RSSI register read over SPI.
+    sense_sample_energy_j: float = 0.1e-3 * 8e-3 * 3.0  # 0.1 ms @ 8 mA @ 3 V
+
+    def tx_current_ma(self, power_dbm: float) -> float:
+        """TX current at the given output power (interpolated)."""
+        points = self.tx_currents_ma
+        powers = [p for p, _ in points]
+        if power_dbm <= powers[0]:
+            return points[0][1]
+        if power_dbm >= powers[-1]:
+            return points[-1][1]
+        idx = bisect_left(powers, power_dbm)
+        (p0, c0), (p1, c1) = points[idx - 1], points[idx]
+        frac = (power_dbm - p0) / (p1 - p0)
+        return c0 + frac * (c1 - c0)
+
+    def tx_energy_j(self, duration_s: float, power_dbm: float) -> float:
+        return duration_s * self.tx_current_ma(power_dbm) * 1e-3 * self.supply_voltage_v
+
+    def rx_energy_j(self, duration_s: float) -> float:
+        return duration_s * self.rx_current_ma * 1e-3 * self.supply_voltage_v
+
+    def sensing_energy_j(self, n_samples: int) -> float:
+        return n_samples * self.sense_sample_energy_j
+
+
+DEFAULT_ENERGY_MODEL = EnergyModel()
+
+
+@dataclass
+class EnergyAccumulator:
+    """Per-radio time-in-state ledger.
+
+    The radio calls :meth:`transition` at every state change; consumers
+    call :meth:`energy_j` (which implicitly closes the open interval at
+    ``now``).  RSSI sensing samples are counted separately because they
+    cost MCU energy, not radio energy.
+    """
+
+    model: EnergyModel = field(default_factory=lambda: DEFAULT_ENERGY_MODEL)
+    tx_power_dbm: float = 0.0
+    _state: str = "idle"
+    _since: float = 0.0
+    _durations: Dict[str, float] = field(default_factory=dict)
+    sense_samples: int = 0
+
+    def transition(self, state: str, now: float) -> None:
+        if now < self._since:
+            raise ValueError(f"time went backwards: {now} < {self._since}")
+        self._durations[self._state] = (
+            self._durations.get(self._state, 0.0) + now - self._since
+        )
+        self._state = state
+        self._since = now
+
+    def note_sense_sample(self) -> None:
+        self.sense_samples += 1
+
+    def durations(self, now: float) -> Dict[str, float]:
+        """Time spent per state, with the open interval closed at ``now``."""
+        result = dict(self._durations)
+        result[self._state] = result.get(self._state, 0.0) + now - self._since
+        return result
+
+    def energy_j(self, now: float) -> float:
+        """Total energy consumed up to ``now``."""
+        durations = self.durations(now)
+        tx_s = durations.get("tx", 0.0)
+        # Everything not transmitting is listening (the CC2420 draws full
+        # RX current whenever the receiver is on).
+        listen_s = sum(v for k, v in durations.items() if k != "tx")
+        return (
+            self.model.tx_energy_j(tx_s, self.tx_power_dbm)
+            + self.model.rx_energy_j(listen_s)
+            + self.model.sensing_energy_j(self.sense_samples)
+        )
+
+    def breakdown_j(self, now: float) -> Dict[str, float]:
+        """Energy per contributor: tx / listen / sensing."""
+        durations = self.durations(now)
+        tx_s = durations.get("tx", 0.0)
+        listen_s = sum(v for k, v in durations.items() if k != "tx")
+        return {
+            "tx": self.model.tx_energy_j(tx_s, self.tx_power_dbm),
+            "listen": self.model.rx_energy_j(listen_s),
+            "sensing": self.model.sensing_energy_j(self.sense_samples),
+        }

@@ -1,0 +1,143 @@
+"""Frame structure and airtime arithmetic for the 2.4 GHz 802.15.4 PHY."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .constants import (
+    BIT_RATE_BPS,
+    FCS_BYTES,
+    MAX_MPDU_BYTES,
+    MHR_BYTES,
+    PHY_HEADER_BYTES,
+)
+
+__all__ = [
+    "Frame",
+    "frame_airtime_s",
+    "ack_airtime_s",
+    "payload_for_airtime",
+    "ACK_MPDU_BYTES",
+]
+
+_frame_ids = itertools.count(1)
+
+#: An 802.15.4 acknowledgement MPDU: FCF (2) + sequence (1) + FCS (2).
+ACK_MPDU_BYTES = 5
+
+
+def frame_airtime_s(payload_bytes: int, bit_rate_bps: int = BIT_RATE_BPS) -> float:
+    """On-air duration of a data frame with ``payload_bytes`` of payload.
+
+    Includes the PHY synchronisation header, MAC header and FCS.
+    """
+    mpdu = MHR_BYTES + payload_bytes + FCS_BYTES
+    if mpdu > MAX_MPDU_BYTES:
+        raise ValueError(
+            f"payload of {payload_bytes} B gives MPDU {mpdu} B > {MAX_MPDU_BYTES} B"
+        )
+    total_bytes = PHY_HEADER_BYTES + mpdu
+    return total_bytes * 8 / bit_rate_bps
+
+
+def ack_airtime_s(bit_rate_bps: int = BIT_RATE_BPS) -> float:
+    """On-air duration of an acknowledgement frame (352 us at 250 kbps)."""
+    return (PHY_HEADER_BYTES + ACK_MPDU_BYTES) * 8 / bit_rate_bps
+
+
+def payload_for_airtime(airtime_s: float, bit_rate_bps: int = BIT_RATE_BPS) -> int:
+    """Largest payload whose frame airtime does not exceed ``airtime_s``."""
+    total_bytes = int(airtime_s * bit_rate_bps // 8)
+    payload = total_bytes - PHY_HEADER_BYTES - MHR_BYTES - FCS_BYTES
+    if payload < 0:
+        raise ValueError(f"airtime {airtime_s} s is too short for any frame")
+    return payload
+
+
+@dataclass
+class Frame:
+    """A MAC frame in flight.
+
+    Attributes
+    ----------
+    source:
+        Identifier of the sending node.
+    destination:
+        Identifier of the intended receiver, or ``None`` for broadcast.
+    payload_bytes:
+        Application payload length; overheads are added by
+        :func:`frame_airtime_s`.
+    sequence:
+        Per-source sequence number (set by the MAC).
+    frame_id:
+        Globally unique id, assigned at construction, used to correlate
+        trace records across transmitter and receivers.
+    bit_rate_bps:
+        PHY rate used for airtime; defaults to the 802.15.4 250 kbps.  The
+        802.11b contrast substrate (:mod:`repro.dot11`) overrides it.
+    is_ack:
+        True for acknowledgement frames (5-byte MPDU, no payload);
+        constructed via :meth:`Frame.ack`.
+    ack_request:
+        True when the sender expects an acknowledgement (unicast data
+        frames under an ACK-enabled MAC).
+    """
+
+    source: str
+    destination: Optional[str]
+    payload_bytes: int
+    sequence: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    bit_rate_bps: int = BIT_RATE_BPS
+    is_ack: bool = False
+    ack_request: bool = False
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be >= 0, got {self.payload_bytes}")
+        if self.bit_rate_bps <= 0:
+            raise ValueError(f"bit_rate_bps must be > 0, got {self.bit_rate_bps}")
+        if self.is_ack:
+            if self.payload_bytes != 0:
+                raise ValueError("acknowledgement frames carry no payload")
+            if self.ack_request:
+                raise ValueError("acknowledgements are never themselves acked")
+        else:
+            # Validate MPDU bounds eagerly so misconfiguration fails early.
+            frame_airtime_s(self.payload_bytes, self.bit_rate_bps)
+
+    @classmethod
+    def ack(cls, source: str, destination: str, sequence: int) -> "Frame":
+        """Build the acknowledgement for a received frame."""
+        return cls(
+            source=source,
+            destination=destination,
+            payload_bytes=0,
+            sequence=sequence,
+            is_ack=True,
+        )
+
+    @property
+    def airtime_s(self) -> float:
+        if self.is_ack:
+            return ack_airtime_s(self.bit_rate_bps)
+        return frame_airtime_s(self.payload_bytes, self.bit_rate_bps)
+
+    @property
+    def total_bits(self) -> int:
+        if self.is_ack:
+            return (PHY_HEADER_BYTES + ACK_MPDU_BYTES) * 8
+        mpdu = MHR_BYTES + self.payload_bytes + FCS_BYTES
+        return (PHY_HEADER_BYTES + mpdu) * 8
+
+    @property
+    def mpdu_bits(self) -> int:
+        """Bits covered by the CRC (MAC header + payload + FCS)."""
+        if self.is_ack:
+            return ACK_MPDU_BYTES * 8
+        return (MHR_BYTES + self.payload_bytes + FCS_BYTES) * 8
+
+    def is_broadcast(self) -> bool:
+        return self.destination is None

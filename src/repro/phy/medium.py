@@ -1,0 +1,179 @@
+"""The shared wireless medium.
+
+The medium knows every radio, the path-loss model and the fading model.
+When a radio begins transmitting, the medium computes the received power at
+every other radio (path loss + per-packet fading), delivers a
+``signal start`` notification immediately and schedules the matching
+``signal end``.  Radios decide for themselves what a signal means to them
+(lockable co-channel frame vs. inter-channel interference) — the medium is
+channel-agnostic and simply carries centre frequencies around.
+
+Event ordering: at identical timestamps, signal *ends* fire before signal
+*starts* (priority 0 vs 1) so that back-to-back transmissions do not appear
+to overlap for an instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..sim.rng import RngStreams
+from ..sim.simulator import Simulator
+from ..sim.units import dbm_to_mw
+from .fading import FadingModel, NoFading
+from .frame import Frame
+from .propagation import PathLossModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .radio import Radio
+
+__all__ = ["Transmission", "Signal", "Medium", "PRIORITY_SIGNAL_END", "PRIORITY_SIGNAL_START"]
+
+PRIORITY_SIGNAL_END = 0
+PRIORITY_SIGNAL_START = 1
+
+
+@dataclass
+class Transmission:
+    """One frame on the air, as seen by the transmitter."""
+
+    source: "Radio"
+    frame: Frame
+    channel_mhz: float
+    tx_power_dbm: float
+    start_time: float
+    end_time: float
+
+    @property
+    def airtime_s(self) -> float:
+        return self.end_time - self.start_time
+
+
+class Signal:
+    """A transmission as observed by one receiver (with its own RSS)."""
+
+    __slots__ = ("transmission", "rx_power_dbm", "rx_power_mw")
+
+    def __init__(self, transmission: Transmission, rx_power_dbm: float) -> None:
+        self.transmission = transmission
+        self.rx_power_dbm = rx_power_dbm
+        self.rx_power_mw = dbm_to_mw(rx_power_dbm)
+
+    @property
+    def channel_mhz(self) -> float:
+        return self.transmission.channel_mhz
+
+    @property
+    def frame(self) -> Frame:
+        return self.transmission.frame
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Signal frame={self.frame.frame_id} ch={self.channel_mhz} MHz "
+            f"rss={self.rx_power_dbm:.1f} dBm>"
+        )
+
+
+class Medium:
+    """Registry of radios plus signal delivery.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    path_loss:
+        Large-scale propagation model.
+    fading:
+        Per-packet variation model (defaults to none).
+    rng:
+        Named RNG streams; fading draws come from the ``"fading"`` stream.
+    delivery_floor_dbm:
+        Signals below this received power are not delivered at all (they
+        would be ~20 dB under the noise floor); keeps event counts linear in
+        the number of *audible* receivers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path_loss: PathLossModel,
+        fading: Optional[FadingModel] = None,
+        rng: Optional[RngStreams] = None,
+        delivery_floor_dbm: float = -115.0,
+    ) -> None:
+        self.sim = sim
+        self.path_loss = path_loss
+        self.fading = fading if fading is not None else NoFading()
+        self.rng = rng if rng is not None else RngStreams(0)
+        self.delivery_floor_dbm = delivery_floor_dbm
+        self._radios: List["Radio"] = []
+        self._fading_stream = self.rng.stream("fading")
+
+    # ------------------------------------------------------------------
+    def register(self, radio: "Radio") -> None:
+        """Add a radio to the medium.  Called by ``Radio.__init__``."""
+        if radio in self._radios:
+            raise ValueError(f"radio {radio.name!r} registered twice")
+        self._radios.append(radio)
+
+    @property
+    def radios(self) -> List["Radio"]:
+        return list(self._radios)
+
+    # ------------------------------------------------------------------
+    def begin_transmission(
+        self,
+        source: "Radio",
+        frame: Frame,
+        channel_mhz: float,
+        tx_power_dbm: float,
+        on_complete: Callable[[Transmission], None],
+    ) -> Transmission:
+        """Put ``frame`` on the air and fan it out to audible receivers.
+
+        ``on_complete`` fires at end-of-airtime, *after* receivers have been
+        told the signal ended (same timestamp, later priority ordering is
+        guaranteed by scheduling receiver ends first).
+        """
+        now = self.sim.now
+        transmission = Transmission(
+            source=source,
+            frame=frame,
+            channel_mhz=channel_mhz,
+            tx_power_dbm=tx_power_dbm,
+            start_time=now,
+            end_time=now + frame.airtime_s,
+        )
+        self.sim.trace.emit(
+            "tx_start",
+            source=source.name,
+            frame=frame.frame_id,
+            channel=channel_mhz,
+            power=tx_power_dbm,
+            airtime=frame.airtime_s,
+        )
+        for radio in self._radios:
+            if radio is source:
+                continue
+            mean_rss = self.path_loss.received_power_dbm(
+                tx_power_dbm, source.position, radio.position
+            )
+            rss = mean_rss + self.fading.sample_db(self._fading_stream)
+            if rss < self.delivery_floor_dbm:
+                continue
+            signal = Signal(transmission, rss)
+            radio.on_signal_start(signal)
+            self.sim.schedule(
+                frame.airtime_s,
+                lambda r=radio, s=signal: r.on_signal_end(s),
+                priority=PRIORITY_SIGNAL_END,
+                tag="signal_end",
+            )
+        self.sim.schedule(
+            frame.airtime_s,
+            lambda: on_complete(transmission),
+            priority=PRIORITY_SIGNAL_END + 1,
+            tag="tx_end",
+        )
+        return transmission

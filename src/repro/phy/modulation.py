@@ -1,0 +1,117 @@
+"""Bit-error-rate models for the PHYs in the paper.
+
+- 802.15.4 2.4 GHz O-QPSK with DSSS (the MicaZ/CC2420 radio): the standard
+  16-ary quasi-orthogonal formula (Zuniga & Krishnamachari, from the IEEE
+  802.15.4 standard's PER analysis).
+- 802.11b DBPSK/DQPSK/CCK: used only by the Fig. 2 contrast experiment.
+
+All functions take the *post-filter* SINR (signal over in-band interference
+plus noise) in dB and return a probability per bit.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from ..sim.units import db_to_linear
+from .constants import BIT_RATE_BPS, NOISE_BANDWIDTH_MHZ
+
+__all__ = [
+    "oqpsk_ber",
+    "dbpsk_ber",
+    "dqpsk_ber",
+    "packet_error_rate",
+    "expected_bit_errors",
+    "PROCESSING_GAIN_DB",
+    "IMPLEMENTATION_LOSS_DB",
+    "EFFECTIVE_SNR_OFFSET_DB",
+]
+
+#: DSSS processing gain of the 2.4 GHz PHY: 2 MHz chip bandwidth over
+#: 250 kbps bit rate = 8x = 9.03 dB.
+PROCESSING_GAIN_DB = 10.0 * math.log10(
+    NOISE_BANDWIDTH_MHZ * 1e6 / BIT_RATE_BPS
+)
+
+#: Real CC2420 receivers fall far short of the theoretical DSSS gain when
+#: the impairment is *another in-band signal* rather than white noise: the
+#: datasheet quotes co-channel rejection of about -3 dB (an interferer only
+#: a few dB below the carrier already breaks 1 % PER) and a sensitivity of
+#: -94 dBm over a ~-100 dBm noise floor (i.e. ~6 dB SNR at the 1 % PER
+#: point for a 20-byte PSDU).  We fold both effects into a single
+#: implementation-loss term calibrated against those two datasheet anchors.
+IMPLEMENTATION_LOSS_DB = 13.8
+
+#: Net mapping from in-band SINR to the effective Eb/N0 fed to the 16-ary
+#: curve.  With this offset: PER(111-byte MPDU) = 1 % at ~6 dB SINR
+#: (sensitivity anchor) and an equal-power co-channel collision (SINR =
+#: 0 dB) is reliably corrupted (co-channel rejection anchor).
+EFFECTIVE_SNR_OFFSET_DB = PROCESSING_GAIN_DB - IMPLEMENTATION_LOSS_DB
+
+_BINOMIAL_16 = [math.comb(16, k) for k in range(17)]
+
+
+@lru_cache(maxsize=100_000)
+def _oqpsk_ber_cached(snr_mdb: int) -> float:
+    """O-QPSK BER for an Eb/N0 given in milli-dB (cache key)."""
+    snr_db = snr_mdb / 1000.0
+    snr = db_to_linear(snr_db)
+    total = 0.0
+    for k in range(2, 17):
+        total += ((-1) ** k) * _BINOMIAL_16[k] * math.exp(20.0 * snr * (1.0 / k - 1.0))
+    ber = (8.0 / 15.0) * (1.0 / 16.0) * total
+    return min(max(ber, 0.0), 0.5)
+
+
+def oqpsk_ber(sinr_db: float) -> float:
+    """BER of the 802.15.4 O-QPSK DSSS PHY at in-band SINR ``sinr_db``.
+
+    Callers pass the raw in-band SINR (what the radio front-end sees); the
+    processing gain and implementation loss (see
+    :data:`EFFECTIVE_SNR_OFFSET_DB`) are applied internally.
+    """
+    ebn0_db = sinr_db + EFFECTIVE_SNR_OFFSET_DB
+    # Quantise to milli-dB for the cache; the BER curve is smooth at that
+    # resolution and the cache removes ~all exp() work from the hot path.
+    if ebn0_db > 30.0:
+        return 0.0
+    if ebn0_db < -20.0:
+        return 0.5
+    return _oqpsk_ber_cached(int(round(ebn0_db * 1000.0)))
+
+
+def _q_function(x: float) -> float:
+    """Gaussian tail probability Q(x)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+def dbpsk_ber(sinr_db: float, processing_gain: float = 11.0) -> float:
+    """BER of 802.11b 1 Mbps DBPSK with Barker spreading.
+
+    ``processing_gain`` is the linear chip-over-bit ratio (11 for Barker).
+    """
+    snr = db_to_linear(sinr_db) * processing_gain
+    return min(0.5, 0.5 * math.exp(-snr))
+
+
+def dqpsk_ber(sinr_db: float, processing_gain: float = 5.5) -> float:
+    """Approximate BER of 802.11b 2 Mbps DQPSK."""
+    snr = db_to_linear(sinr_db) * processing_gain
+    return min(0.5, _q_function(math.sqrt(2.0 * snr)))
+
+
+def packet_error_rate(ber: float, n_bits: int) -> float:
+    """PER for ``n_bits`` independent bits at bit error rate ``ber``."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+    if ber <= 0.0:
+        return 0.0
+    if ber >= 1.0:
+        return 1.0
+    return 1.0 - (1.0 - ber) ** n_bits
+
+
+def expected_bit_errors(ber: float, n_bits: float) -> float:
+    """Mean number of errored bits over ``n_bits``."""
+    return ber * n_bits

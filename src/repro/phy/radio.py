@@ -1,0 +1,298 @@
+"""The radio: a CC2420-like transceiver state machine.
+
+Responsibilities:
+
+- **Sensing** — in-channel power (RSSI register / CCA measurement): the sum
+  of every audible signal's power after spectral-mask attenuation toward the
+  radio's channel, plus the noise floor.
+- **Transmitting** — hands frames to the :class:`~repro.phy.medium.Medium`;
+  a transmitting radio is deaf (half-duplex).
+- **Receiving** — locks onto co-channel frames whose preamble is decodable
+  (RSS above sensitivity and lock-time SINR above the capture threshold);
+  off-channel frames are *never* lockable.  This asymmetry is the paper's
+  central 802.15.4-vs-802.11 observation (Fig. 2): an 802.15.4 receiver
+  cannot decode a packet even 1 MHz off its centre frequency, so
+  neighbouring-channel energy acts as tolerable noise rather than hijacking
+  the demodulator.
+
+MAC layers subscribe via :meth:`Radio.add_frame_listener` and receive every
+finished :class:`~repro.phy.errors.FrameReception` (CRC-good or not —
+snooping CRC-failed frames still yields their RSSI, which the DCN
+CCA-Adjustor uses).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..sim.rng import RngStreams
+from ..sim.simulator import Simulator
+from ..sim.units import dbm_to_mw, linear_to_db, mw_to_dbm
+from .constants import NOISE_FLOOR_DBM, RSSI_AVG_WINDOW_S, RX_SENSITIVITY_DBM
+from .energy import EnergyAccumulator
+from .errors import FrameReception
+from .frame import Frame
+from .mask import SpectralMask, default_cca_mask, default_mask
+from .medium import Medium, Signal, Transmission
+from .propagation import Position
+from .reception import Reception
+
+__all__ = ["RadioState", "RadioConfig", "Radio"]
+
+FrameListener = Callable[[FrameReception], None]
+
+
+class RadioState(enum.Enum):
+    """Transceiver state: listening (IDLE), transmitting (TX) or OFF."""
+
+    IDLE = "idle"  # listening
+    TX = "tx"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Receiver characteristics (CC2420 defaults)."""
+
+    sensitivity_dbm: float = RX_SENSITIVITY_DBM
+    noise_floor_dbm: float = NOISE_FLOOR_DBM
+    #: Minimum SINR at lock time for the preamble/SFD to synchronise.
+    capture_threshold_db: float = -1.0
+    #: Signals within this offset of the radio's centre count as co-channel.
+    co_channel_tolerance_mhz: float = 0.5
+    #: When True, CCA compares the 8-symbol *time-averaged* RSSI register
+    #: (as the CC2420 actually does) instead of the instantaneous power.
+    #: Off by default: at CSMA timescales the difference is small and the
+    #: experiment calibration uses the instantaneous reading.
+    cca_averaging: bool = False
+
+
+class Radio:
+    """One transceiver bound to a medium, a position and a channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        name: str,
+        position: Position,
+        channel_mhz: float,
+        tx_power_dbm: float,
+        mask: Optional[SpectralMask] = None,
+        cca_mask: Optional[SpectralMask] = None,
+        config: Optional[RadioConfig] = None,
+        rng: Optional[RngStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.name = name
+        self.position = position
+        self.channel_mhz = channel_mhz
+        self.tx_power_dbm = tx_power_dbm
+        self.mask = mask if mask is not None else default_mask()
+        #: The CCA/RSSI sensing path rejects off-channel energy a few dB
+        #: more sharply than the demodulator's interference coupling.
+        self.cca_mask = cca_mask if cca_mask is not None else default_cca_mask(self.mask)
+        self.config = config if config is not None else RadioConfig()
+        rng_streams = rng if rng is not None else medium.rng
+        self._bit_rng = rng_streams.stream(f"biterrors.{name}")
+        self.state = RadioState.IDLE
+        self.active_signals: List[Signal] = []
+        self.current_reception: Optional[Reception] = None
+        self._frame_listeners: List[FrameListener] = []
+        self._noise_mw = dbm_to_mw(self.config.noise_floor_dbm)
+        self.energy = EnergyAccumulator(tx_power_dbm=tx_power_dbm)
+        #: Step history of the sensing-path power: ``(time, power_mw)``
+        #: entries meaning "sensed power became power_mw at time".  Feeds
+        #: the time-averaged RSSI register.
+        self._sense_history = deque(maxlen=128)
+        self._sense_history.append((0.0, self._noise_mw))
+        medium.register(self)
+
+    # ------------------------------------------------------------------
+    # Listener plumbing
+    # ------------------------------------------------------------------
+    def add_frame_listener(self, listener: FrameListener) -> None:
+        self._frame_listeners.append(listener)
+
+    def _dispatch_reception(self, outcome: FrameReception) -> None:
+        self.sim.trace.emit(
+            "rx_done",
+            radio=self.name,
+            frame=outcome.frame.frame_id,
+            crc=outcome.crc_ok,
+            rssi=round(outcome.rssi_dbm, 2),
+            errors=outcome.errored_bits,
+        )
+        for listener in self._frame_listeners:
+            listener(outcome)
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def in_channel_power_mw(self, exclude: Optional[Signal] = None) -> float:
+        """Decode-path in-channel power (mW) including the noise floor.
+
+        Each active signal is attenuated by the demodulator-coupling mask
+        according to its centre-frequency offset from this radio's channel.
+        This is the interference term of reception SINR.
+        """
+        total = self._noise_mw
+        for signal in self.active_signals:
+            if signal is exclude:
+                continue
+            leakage_db = self.mask.leakage_db(signal.channel_mhz - self.channel_mhz)
+            total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
+        return total
+
+    def sensed_power_mw(self) -> float:
+        """Sensing-path in-channel power (mW): what CCA/RSSI measures."""
+        total = self._noise_mw
+        for signal in self.active_signals:
+            leakage_db = self.cca_mask.leakage_db(
+                signal.channel_mhz - self.channel_mhz
+            )
+            total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
+        return total
+
+    def sense_power_dbm(self) -> float:
+        """Instantaneous sensed power in dBm."""
+        return mw_to_dbm(self.sensed_power_mw())
+
+    def rssi_register_dbm(self, window_s: float = RSSI_AVG_WINDOW_S) -> float:
+        """The CC2420 RSSI register: sensed power averaged over 8 symbols.
+
+        Computed as the time-weighted mean of the sensing-path power over
+        the trailing ``window_s`` (128 us), exactly how the chip's
+        RSSI.RSSI_VAL behaves.
+        """
+        now = self.sim.now
+        horizon = now - window_s
+        # Walk the step history backwards, accumulating weighted power.
+        total = 0.0
+        covered_until = now
+        for time, power_mw in reversed(self._sense_history):
+            start = max(time, horizon)
+            if start < covered_until:
+                total += power_mw * (covered_until - start)
+                covered_until = start
+            if time <= horizon:
+                break
+        if covered_until > horizon:
+            # History shorter than the window: extend the oldest level.
+            oldest_power = self._sense_history[0][1]
+            total += oldest_power * (covered_until - horizon)
+        return mw_to_dbm(total / window_s)
+
+    def _record_sense_change(self) -> None:
+        self._sense_history.append((self.sim.now, self.sensed_power_mw()))
+
+    def cca_busy(self, threshold_dbm: float) -> bool:
+        """Energy-detection CCA: busy when in-channel power > threshold."""
+        if self.config.cca_averaging:
+            return self.rssi_register_dbm() > threshold_dbm
+        return self.sense_power_dbm() > threshold_dbm
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def transmit(
+        self, frame: Frame, on_complete: Callable[[Transmission], None]
+    ) -> Transmission:
+        """Start transmitting ``frame`` at this radio's channel and power.
+
+        Any in-progress reception is abandoned (half-duplex radio).  The
+        radio returns to IDLE and ``on_complete`` fires at end-of-airtime.
+        """
+        if self.state is RadioState.TX:
+            raise RuntimeError(f"radio {self.name!r} is already transmitting")
+        if self.state is RadioState.OFF:
+            raise RuntimeError(f"radio {self.name!r} is off")
+        if self.current_reception is not None:
+            self.current_reception.abort()
+            self.current_reception = None
+            self.sim.trace.emit("rx_aborted_by_tx", radio=self.name)
+        self.state = RadioState.TX
+        self.energy.transition("tx", self.sim.now)
+
+        def _finish(transmission: Transmission) -> None:
+            self.state = RadioState.IDLE
+            self.energy.transition("idle", self.sim.now)
+            on_complete(transmission)
+
+        return self.medium.begin_transmission(
+            self, frame, self.channel_mhz, self.tx_power_dbm, _finish
+        )
+
+    # ------------------------------------------------------------------
+    # Medium callbacks
+    # ------------------------------------------------------------------
+    def on_signal_start(self, signal: Signal) -> None:
+        if self.current_reception is not None:
+            # Close the elapsed segment under the *old* interference set
+            # before the new signal starts counting.
+            self.current_reception.on_interference_change()
+            self.active_signals.append(signal)
+            self._record_sense_change()
+            return
+        self.active_signals.append(signal)
+        self._record_sense_change()
+        if self.state is not RadioState.IDLE:
+            return
+        if not self._is_co_channel(signal):
+            return
+        if signal.rx_power_dbm < self.config.sensitivity_dbm:
+            return
+        if self._lock_sinr_db(signal) < self.config.capture_threshold_db:
+            self.sim.trace.emit(
+                "preamble_missed",
+                radio=self.name,
+                frame=signal.frame.frame_id,
+                rssi=round(signal.rx_power_dbm, 2),
+            )
+            return
+        self.current_reception = Reception(self, signal, self._bit_rng)
+        self.sim.trace.emit(
+            "rx_lock", radio=self.name, frame=signal.frame.frame_id
+        )
+
+    def on_signal_end(self, signal: Signal) -> None:
+        reception = self.current_reception
+        locked_on_this = reception is not None and reception.signal is signal
+        if locked_on_this:
+            # Close the final segment while the signal still counts as
+            # "active minus itself" — remove it afterwards.
+            outcome = reception.finalize()
+            self.current_reception = None
+            self.active_signals.remove(signal)
+            self._record_sense_change()
+            self._dispatch_reception(outcome)
+            return
+        if self.current_reception is not None:
+            # Close the elapsed segment while the ending signal still
+            # counts as interference.
+            self.current_reception.on_interference_change()
+        self.active_signals.remove(signal)
+        self._record_sense_change()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _is_co_channel(self, signal: Signal) -> bool:
+        offset = abs(signal.channel_mhz - self.channel_mhz)
+        return offset <= self.config.co_channel_tolerance_mhz
+
+    def _lock_sinr_db(self, signal: Signal) -> float:
+        interference_mw = self.in_channel_power_mw(exclude=signal)
+        if interference_mw <= 0.0:
+            return 100.0
+        return linear_to_db(signal.rx_power_mw / interference_mw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Radio {self.name} ch={self.channel_mhz} MHz "
+            f"p={self.tx_power_dbm} dBm {self.state.value}>"
+        )

@@ -1,0 +1,101 @@
+"""Per-frame reception bookkeeping: segment SINR -> sampled bit errors.
+
+A :class:`Reception` is created when a radio locks onto a co-channel frame.
+The interference environment is piecewise-constant between signal start/end
+events, so the reception is tracked as a sequence of *segments*: whenever
+the interference changes, the elapsed segment is closed — its SINR is
+computed, mapped to a BER, and the number of errored bits in the segment is
+drawn from a binomial distribution.  On finalisation the accumulated error
+count decides CRC success and yields the error-bit fraction used by the
+packet-recovery analysis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..sim.units import linear_to_db
+from .constants import BIT_RATE_BPS
+from .errors import FrameReception
+from .medium import Signal
+from .modulation import oqpsk_ber
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .radio import Radio
+
+__all__ = ["Reception"]
+
+BerModel = Callable[[float], float]
+
+
+class Reception:
+    """Tracks one locked frame at one radio until it completes or aborts."""
+
+    def __init__(
+        self,
+        radio: "Radio",
+        signal: Signal,
+        rng: np.random.Generator,
+        ber_model: BerModel = oqpsk_ber,
+        bit_rate_bps: int = BIT_RATE_BPS,
+    ) -> None:
+        self.radio = radio
+        self.signal = signal
+        self.rng = rng
+        self.ber_model = ber_model
+        self.bit_rate_bps = bit_rate_bps
+        self.start_time = radio.sim.now
+        self.errored_bits = 0
+        self.sampled_bits = 0
+        self._segment_start = self.start_time
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def on_interference_change(self) -> None:
+        """The interference environment changed: close the current segment."""
+        self._close_segment(self.radio.sim.now)
+
+    def finalize(self) -> FrameReception:
+        """The locked signal ended normally: produce the outcome."""
+        now = self.radio.sim.now
+        self._close_segment(now)
+        self._finished = True
+        frame = self.signal.frame
+        return FrameReception(
+            frame=frame,
+            rssi_dbm=self.signal.rx_power_dbm,
+            crc_ok=(self.errored_bits == 0),
+            errored_bits=self.errored_bits,
+            total_bits=self.sampled_bits,
+            start_time=self.start_time,
+            end_time=now,
+        )
+
+    def abort(self) -> None:
+        """Reception abandoned (e.g. the radio switched to transmit)."""
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    def _close_segment(self, now: float) -> None:
+        if self._finished:
+            return
+        duration = now - self._segment_start
+        self._segment_start = now
+        if duration <= 0.0:
+            return
+        n_bits = int(round(duration * self.bit_rate_bps))
+        if n_bits <= 0:
+            return
+        sinr_db = self._current_sinr_db()
+        ber = self.ber_model(sinr_db)
+        self.sampled_bits += n_bits
+        if ber > 0.0:
+            self.errored_bits += int(self.rng.binomial(n_bits, min(ber, 1.0)))
+
+    def _current_sinr_db(self) -> float:
+        interference_mw = self.radio.in_channel_power_mw(exclude=self.signal)
+        if interference_mw <= 0.0:
+            return 100.0
+        return linear_to_db(self.signal.rx_power_mw / interference_mw)

@@ -1,0 +1,137 @@
+"""Spectrum bands and non-orthogonal channel plans.
+
+The paper allocates channel centre frequencies over a fixed spectrum band
+with a configurable channel frequency distance (CFD).  Two allocation
+conventions appear in the paper and both are implemented here:
+
+- ``slot`` — the Fig. 1 motivation experiment on a "12 MHz bandwidth":
+  the number of channels is ``floor(band_width / cfd)`` (9 MHz -> 1 channel,
+  5 -> 2, 4 -> 3, 3 -> 4, 2 -> 6).
+- ``inclusive`` — the Section VI evaluation on 2458-2473 MHz: centres are
+  placed from the low edge to the high edge inclusive, giving
+  ``span / cfd + 1`` channels (15 MHz -> 6 @ 3 MHz, 4 @ 5 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Band", "ChannelPlan", "EVALUATION_BAND", "MOTIVATION_BAND"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """A contiguous slice of spectrum, in MHz."""
+
+    low_mhz: float
+    high_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.high_mhz <= self.low_mhz:
+            raise ValueError(
+                f"band must have high > low, got [{self.low_mhz}, {self.high_mhz}]"
+            )
+
+    @property
+    def width_mhz(self) -> float:
+        return self.high_mhz - self.low_mhz
+
+    def contains(self, freq_mhz: float) -> bool:
+        return self.low_mhz <= freq_mhz <= self.high_mhz
+
+
+#: The Section VI evaluation band: "from 2458MHz to 2473MHz" (15 MHz).
+EVALUATION_BAND = Band(2458.0, 2473.0)
+#: The Section III motivation experiment band (12 MHz wide).
+MOTIVATION_BAND = Band(2458.0, 2470.0)
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """An ordered list of channel centre frequencies over a band.
+
+    ``centers_mhz`` is ordered so that index 0 is the paper's network N0 —
+    the *median* frequency — followed by the remaining channels sorted by
+    increasing distance from the centre of the band.  This matches the
+    paper's naming where N0 always denotes the middle channel that suffers
+    the most inter-channel interference and N4/N5 sit at the band edges.
+    """
+
+    band: Band
+    cfd_mhz: float
+    centers_mhz: Sequence[float]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def slot(cls, band: Band, cfd_mhz: float) -> "ChannelPlan":
+        """Fig. 1 convention: ``floor(width / cfd)`` channels.
+
+        Channels are packed from the low edge with one CFD of spectrum per
+        channel; centres sit in the middle of each slot.
+        """
+        if cfd_mhz <= 0:
+            raise ValueError(f"cfd must be positive, got {cfd_mhz}")
+        count = int(band.width_mhz // cfd_mhz)
+        if count < 1:
+            raise ValueError(
+                f"band of {band.width_mhz} MHz cannot fit any channel at "
+                f"CFD {cfd_mhz} MHz"
+            )
+        centers = [
+            band.low_mhz + cfd_mhz * (i + 0.5) for i in range(count)
+        ]
+        return cls(band, cfd_mhz, tuple(_median_first(centers)))
+
+    @classmethod
+    def inclusive(cls, band: Band, cfd_mhz: float) -> "ChannelPlan":
+        """Section VI convention: centres at both edges, ``span/cfd + 1``."""
+        if cfd_mhz <= 0:
+            raise ValueError(f"cfd must be positive, got {cfd_mhz}")
+        count = int(round(band.width_mhz / cfd_mhz)) + 1
+        centers = [band.low_mhz + cfd_mhz * i for i in range(count)]
+        if centers[-1] > band.high_mhz + 1e-9:
+            centers = [c for c in centers if c <= band.high_mhz + 1e-9]
+        return cls(band, cfd_mhz, tuple(_median_first(centers)))
+
+    @classmethod
+    def explicit(cls, centers_mhz: Sequence[float], cfd_mhz: float = 0.0) -> "ChannelPlan":
+        """A plan from raw centre frequencies (kept in the given order)."""
+        if not centers_mhz:
+            raise ValueError("a channel plan needs at least one centre")
+        low = min(centers_mhz) - 1.0
+        high = max(centers_mhz) + 1.0
+        return cls(Band(low, high), cfd_mhz, tuple(centers_mhz))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_channels(self) -> int:
+        return len(self.centers_mhz)
+
+    def sorted_centers(self) -> List[float]:
+        """Centres in increasing-frequency order."""
+        return sorted(self.centers_mhz)
+
+    def neighbour_distance_mhz(self, center_mhz: float) -> float:
+        """Distance to the nearest other channel in the plan."""
+        others = [c for c in self.centers_mhz if c != center_mhz]
+        if not others:
+            return float("inf")
+        return min(abs(c - center_mhz) for c in others)
+
+    def label(self, index: int) -> str:
+        """Paper-style network label for channel ``index`` (N0, N1, ...)."""
+        return f"N{index}"
+
+
+def _median_first(centers: List[float]) -> List[float]:
+    """Order centres with the median (middle) frequency first.
+
+    Ties in distance from the band middle are broken low-frequency-first so
+    the ordering is deterministic.
+    """
+    ordered = sorted(centers)
+    mid = (ordered[0] + ordered[-1]) / 2.0
+    return sorted(ordered, key=lambda c: (abs(c - mid), c))

@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel.
+
+Public surface:
+
+- :class:`~repro.sim.simulator.Simulator` — clock + event queue.
+- :class:`~repro.sim.process.Process` / :class:`~repro.sim.process.Sleep` —
+  generator-based sequential behaviours.
+- :class:`~repro.sim.rng.RngStreams` — named deterministic random streams.
+- :class:`~repro.sim.trace.Trace` — structured trace records and counters.
+- :mod:`~repro.sim.units` — dBm/mW and time-unit helpers.
+"""
+
+from .events import Event, EventQueue
+from .process import Process, ProcessError, Sleep
+from .rng import RngStreams
+from .simulator import SimulationError, Simulator
+from .trace import Trace, TraceRecord
+from .units import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    ZERO_POWER_DBM,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mw_to_dbm,
+    sum_powers_dbm,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Process",
+    "ProcessError",
+    "Sleep",
+    "RngStreams",
+    "SimulationError",
+    "Simulator",
+    "Trace",
+    "TraceRecord",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "ZERO_POWER_DBM",
+    "db_to_linear",
+    "dbm_to_mw",
+    "linear_to_db",
+    "mw_to_dbm",
+    "sum_powers_dbm",
+]

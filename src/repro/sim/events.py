@@ -1,0 +1,138 @@
+"""Event objects and the pending-event queue for the discrete-event kernel.
+
+The queue is a binary heap keyed by ``(time, priority, sequence)``.  The
+sequence number makes ordering total and deterministic: two events scheduled
+for the same instant with the same priority fire in scheduling order, which
+keeps runs bit-reproducible for a fixed seed.
+
+Cancellation is *lazy*: cancelled events stay in the heap but are skipped when
+popped.  This keeps cancellation O(1), which matters because CSMA backoff and
+reception bookkeeping cancel events constantly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the callback fires.
+    priority:
+        Tie-breaker for events at the same instant; lower fires first.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    tag:
+        Optional label used in traces and error messages.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "tag", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        tag: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.tag = tag
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when it reaches the head."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        tag = f" tag={self.tag!r}" if self.tag else ""
+        return f"<Event t={self.time:.9f} prio={self.priority}{tag} {state}>"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its handle."""
+        event = Event(time, priority, next(self._counter), callback, tag)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel an event previously returned by :meth:`push`.
+
+        Cancelling an already-cancelled or already-fired event is a no-op.
+        """
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,115 @@
+"""Lightweight generator-based processes on top of the event kernel.
+
+Traffic sources and other sequential behaviours are most naturally written as
+coroutines ("send a packet, sleep, repeat").  A :class:`Process` wraps a
+generator that yields either
+
+- a ``float`` — sleep that many simulated seconds, or
+- a :class:`Sleep` — same, with an explicit type.
+
+Processes can be stopped; a stopped process's pending wakeup is cancelled and
+the generator is closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Union
+
+from .simulator import Simulator
+
+__all__ = ["Sleep", "Process", "ProcessError"]
+
+
+class ProcessError(RuntimeError):
+    """Raised when a process yields an unsupported value."""
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Explicit sleep request: ``yield Sleep(0.01)``."""
+
+    delay: float
+
+
+YieldValue = Union[float, int, Sleep]
+
+
+class Process:
+    """Drives a generator against a :class:`Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing the clock.
+    generator:
+        The coroutine body.  It runs until it returns, raises, or the
+        process is stopped.
+    name:
+        Label used in traces and error messages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[YieldValue, None, None],
+        name: str = "process",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self._wakeup = None
+        self._alive = True
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True until the generator finishes or the process is stopped."""
+        return self._alive
+
+    def start(self, delay: float = 0.0) -> "Process":
+        """Schedule the first step ``delay`` seconds from now."""
+        if self._started:
+            raise ProcessError(f"process {self.name!r} already started")
+        self._started = True
+        self._wakeup = self.sim.schedule(delay, self._step, tag=f"{self.name}.start")
+        return self
+
+    def stop(self) -> None:
+        """Terminate the process, cancelling any pending wakeup."""
+        if not self._alive:
+            return
+        self._alive = False
+        if self._wakeup is not None:
+            self.sim.cancel(self._wakeup)
+            self._wakeup = None
+        self._generator.close()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        if not self._alive:
+            return
+        self._wakeup = None
+        try:
+            yielded = next(self._generator)
+        except StopIteration:
+            self._alive = False
+            return
+        delay = self._coerce_delay(yielded)
+        self._wakeup = self.sim.schedule(delay, self._step, tag=f"{self.name}.wake")
+
+    def _coerce_delay(self, yielded: YieldValue) -> float:
+        if isinstance(yielded, Sleep):
+            delay = yielded.delay
+        elif isinstance(yielded, (int, float)):
+            delay = float(yielded)
+        else:
+            raise ProcessError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+        if delay < 0:
+            raise ProcessError(
+                f"process {self.name!r} requested negative sleep {delay!r}"
+            )
+        return delay

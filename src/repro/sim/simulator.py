@@ -1,0 +1,125 @@
+"""The discrete-event simulator: a clock plus an event queue.
+
+All model components (radios, MACs, traffic sources) hold a reference to one
+:class:`Simulator` and interact with simulated time exclusively through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .events import Event, EventQueue
+from .trace import Trace
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`~repro.sim.trace.Trace` recording structured events.
+        When omitted a disabled trace is created so call sites never branch.
+    """
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self.trace = trace if trace is not None else Trace(enabled=False)
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self._queue.push(self._now + delay, callback, priority, tag)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} s; clock already at {self._now} s"
+            )
+        return self._queue.push(time, callback, priority, tag)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if already fired/cancelled)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Run events in order until the clock reaches ``until`` seconds.
+
+        The clock is left exactly at ``until`` even if the queue drains
+        earlier, so back-to-back ``run`` calls compose naturally.
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"run until {until} s is in the past (now {self._now} s)"
+            )
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback()
+            self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> None:
+        """Run until the event queue drains (or ``max_time`` is reached)."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if max_time is not None and next_time > max_time:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback()
+            if max_time is not None and self._now < max_time and not self._queue:
+                self._now = max_time
+        finally:
+            self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)

@@ -1,0 +1,70 @@
+"""Structured trace recording and counters.
+
+Model components emit trace records (``trace.emit(kind, **fields)``) and bump
+named counters.  Traces are disabled by default — the emit path then costs a
+single attribute check — and can be enabled per-run for debugging or for
+tests that assert on event sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace entry."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:.6f}] {self.kind} {parts}".rstrip()
+
+
+class Trace:
+    """Collects :class:`TraceRecord` entries and named counters."""
+
+    def __init__(self, enabled: bool = True, keep_records: bool = True) -> None:
+        self.enabled = enabled
+        self.keep_records = keep_records
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+        self._clock = lambda: 0.0
+
+    def bind_clock(self, clock) -> None:
+        """Attach a zero-argument callable returning the current sim time."""
+        self._clock = clock
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.counters[kind] += 1
+        if self.keep_records:
+            self.records.append(TraceRecord(self._clock(), kind, fields))
+
+    def count(self, kind: str) -> int:
+        """Number of times ``kind`` was emitted."""
+        return self.counters[kind]
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of the given kind, in emission order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """Most recent record of ``kind``, or ``None``."""
+        for record in reversed(self.records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counters.clear()

@@ -1,0 +1,81 @@
+"""Unit conversions and physical constants used across the simulator.
+
+Conventions
+-----------
+- Time is measured in **seconds** (floats).
+- Frequency is measured in **MHz** (floats); channel offsets (CFD) too.
+- Power is expressed in **dBm** at API boundaries and converted to **mW**
+  (linear) whenever powers must be summed.
+
+The helpers here are deliberately tiny, pure functions so that every other
+module can rely on them without pulling in heavier dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "sum_powers_dbm",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "ZERO_POWER_DBM",
+]
+
+#: One microsecond, in seconds.
+MICROSECOND = 1e-6
+#: One millisecond, in seconds.
+MILLISECOND = 1e-3
+#: One second, in seconds (for symmetry / readability at call sites).
+SECOND = 1.0
+
+#: Conventional "no signal" floor.  Used when a linear power of exactly zero
+#: must be represented on the dBm scale without producing ``-inf``.
+ZERO_POWER_DBM = -200.0
+
+# Linear power below which we clamp to ZERO_POWER_DBM instead of log10.
+_MIN_MW = 10.0 ** (ZERO_POWER_DBM / 10.0)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power level in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power level in milliwatts to dBm.
+
+    Powers at or below the representable floor (including zero and negative
+    round-off residue) map to :data:`ZERO_POWER_DBM` rather than raising.
+    """
+    if mw <= _MIN_MW:
+        return ZERO_POWER_DBM
+    return 10.0 * math.log10(mw)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dimensionless ratio in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to dB. ``ratio`` must be positive."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def sum_powers_dbm(levels_dbm) -> float:
+    """Sum an iterable of dBm levels in the linear domain, returning dBm.
+
+    An empty iterable yields :data:`ZERO_POWER_DBM`.
+    """
+    total = 0.0
+    for level in levels_dbm:
+        total += dbm_to_mw(level)
+    return mw_to_dbm(total)

@@ -1,0 +1,169 @@
+"""Unit tests for the CCA-Adjustor phase logic (Eqs. 2-4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.adjustor import AdjustorConfig, CcaAdjustor
+from repro.sim.simulator import Simulator
+
+
+def make(sim=None, **config_kwargs):
+    sim = sim if sim is not None else Simulator()
+    return sim, CcaAdjustor(sim, AdjustorConfig(**config_kwargs))
+
+
+def test_starts_at_conservative_default():
+    _, adjustor = make()
+    assert adjustor.threshold_dbm() == -77.0
+    assert adjustor.initializing
+
+
+def test_eq2_min_of_min_rssi_and_max_sense():
+    _, adjustor = make()
+    adjustor.observe_rssi(-50.0)
+    adjustor.observe_rssi(-55.0)
+    adjustor.observe_sense(-70.0)
+    adjustor.observe_sense(-62.0)
+    adjustor.finish_initialization()
+    # min(min(S)= -55, max(P)= -62) = -62
+    assert adjustor.threshold_dbm() == pytest.approx(-62.0)
+
+
+def test_eq2_when_co_channel_weaker_than_sensing():
+    _, adjustor = make()
+    adjustor.observe_rssi(-65.0)
+    adjustor.observe_sense(-60.0)
+    adjustor.finish_initialization()
+    assert adjustor.threshold_dbm() == pytest.approx(-65.0)
+
+
+def test_init_without_any_evidence_keeps_default():
+    _, adjustor = make()
+    adjustor.finish_initialization()
+    assert adjustor.threshold_dbm() == -77.0
+
+
+def test_init_with_only_sense_records():
+    _, adjustor = make()
+    adjustor.observe_sense(-80.0)
+    adjustor.observe_sense(-72.0)
+    adjustor.finish_initialization()
+    assert adjustor.threshold_dbm() == pytest.approx(-72.0)
+
+
+def test_sense_ignored_after_initialization():
+    _, adjustor = make()
+    adjustor.observe_rssi(-55.0)
+    adjustor.finish_initialization()
+    adjustor.observe_sense(-90.0)
+    assert adjustor.threshold_dbm() == pytest.approx(-55.0)
+
+
+def test_case1_lowers_immediately():
+    sim, adjustor = make()
+    adjustor.observe_rssi(-50.0)
+    adjustor.finish_initialization()
+    assert adjustor.threshold_dbm() == pytest.approx(-50.0)
+    sim.run(1.0)
+    adjustor.observe_rssi(-64.0)  # weaker packet -> Eq. 3
+    assert adjustor.threshold_dbm() == pytest.approx(-64.0)
+
+
+def test_case1_ignores_stronger_packets():
+    sim, adjustor = make()
+    adjustor.observe_rssi(-60.0)
+    adjustor.finish_initialization()
+    adjustor.observe_rssi(-40.0)
+    assert adjustor.threshold_dbm() == pytest.approx(-60.0)
+
+
+def test_case2_relaxes_upward_after_quiet_window():
+    sim, adjustor = make(t_update_s=3.0)
+    adjustor.observe_rssi(-70.0)
+    adjustor.finish_initialization()
+    assert adjustor.threshold_dbm() == pytest.approx(-70.0)
+    # Strong traffic only, for longer than T_U.
+    sim.run(1.0)
+    adjustor.observe_rssi(-52.0)
+    sim.run(2.0)
+    adjustor.observe_rssi(-50.0)
+    sim.run(4.5)
+    adjustor.periodic_update()
+    # No Case-I update since init; window holds only recent strong packets.
+    assert adjustor.threshold_dbm() == pytest.approx(-50.0)
+
+
+def test_case2_suppressed_within_tu_of_case1():
+    sim, adjustor = make(t_update_s=3.0)
+    adjustor.observe_rssi(-70.0)
+    adjustor.finish_initialization()
+    sim.run(1.0)
+    adjustor.observe_rssi(-75.0)  # Case I fires here
+    sim.run(1.0)
+    adjustor.observe_rssi(-50.0)
+    adjustor.periodic_update()  # only 1 s since Case I -> no change
+    assert adjustor.threshold_dbm() == pytest.approx(-75.0)
+
+
+def test_case2_window_expires_old_records():
+    sim, adjustor = make(t_update_s=2.0)
+    adjustor.observe_rssi(-60.0)
+    adjustor.finish_initialization()
+    sim.run(0.5)
+    adjustor.observe_rssi(-58.0)
+    sim.run(5.5)  # -58 record now stale (5 s old > T_U)
+    adjustor.observe_rssi(-45.0)
+    sim.run(7.0)  # -45 record still fresh (1.5 s old < T_U)
+    adjustor.periodic_update()
+    assert adjustor.threshold_dbm() == pytest.approx(-45.0)
+
+
+def test_case2_with_empty_window_keeps_threshold():
+    sim, adjustor = make(t_update_s=1.0)
+    adjustor.observe_rssi(-60.0)
+    adjustor.finish_initialization()
+    sim.run(10.0)
+    adjustor.periodic_update()
+    assert adjustor.threshold_dbm() == pytest.approx(-60.0)
+
+
+def test_margin_applied_everywhere():
+    sim, adjustor = make(margin_db=2.0)
+    adjustor.observe_rssi(-50.0)
+    adjustor.finish_initialization()
+    assert adjustor.threshold_dbm() == pytest.approx(-52.0)
+    adjustor.observe_rssi(-60.0)
+    assert adjustor.threshold_dbm() == pytest.approx(-62.0)
+
+
+def test_history_records_changes():
+    sim, adjustor = make()
+    adjustor.observe_rssi(-50.0)
+    adjustor.finish_initialization()
+    sim.run(1.0)
+    adjustor.observe_rssi(-60.0)
+    history = adjustor.history()
+    assert [h[1] for h in history] == [-77.0, -50.0, -60.0]
+    assert history[-1][0] == pytest.approx(1.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdjustorConfig(t_init_s=-1.0)
+    with pytest.raises(ValueError):
+        AdjustorConfig(t_update_s=0.0)
+    with pytest.raises(ValueError):
+        AdjustorConfig(sense_interval_s=0.0)
+
+
+@given(st.lists(st.floats(min_value=-95.0, max_value=-30.0), min_size=1, max_size=50))
+def test_invariant_threshold_never_above_weakest_observation(rssis):
+    """Safety property: after init, the threshold never exceeds the weakest
+    co-channel RSSI seen so far (with zero margin and no Case-II expiry)."""
+    sim, adjustor = make(t_update_s=1000.0)
+    adjustor.finish_initialization()
+    running_min = -77.0
+    for rssi in rssis:
+        adjustor.observe_rssi(rssi)
+        running_min = min(running_min, rssi)
+        assert adjustor.threshold_dbm() <= running_min + 1e-9

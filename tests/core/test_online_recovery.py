@@ -1,0 +1,80 @@
+"""Tests for the online recovery controller (Section VII-A future work)."""
+
+import pytest
+
+from repro.core.recovery import OnlineRecoveryController, RecoveryConfig
+from repro.phy.errors import FrameReception
+from repro.phy.frame import Frame
+
+
+def reception(crc_ok, error_fraction=0.0, total=1000):
+    return FrameReception(
+        frame=Frame("s", "r", 60),
+        rssi_dbm=-50.0,
+        crc_ok=crc_ok,
+        errored_bits=int(error_fraction * total),
+        total_bits=total,
+        start_time=0.0,
+        end_time=0.003,
+    )
+
+
+def feed(controller, clean=0, recoverable=0, hopeless=0):
+    for _ in range(clean):
+        controller.record(reception(True))
+    for _ in range(recoverable):
+        controller.record(reception(False, error_fraction=0.05))
+    for _ in range(hopeless):
+        controller.record(reception(False, error_fraction=0.5))
+
+
+def test_stays_disabled_on_clean_link():
+    controller = OnlineRecoveryController(window=50)
+    feed(controller, clean=100)
+    assert not controller.enabled
+    assert controller.recoverable_fraction == 0.0
+
+
+def test_enables_on_lossy_recoverable_link():
+    controller = OnlineRecoveryController(window=50)
+    feed(controller, clean=60, recoverable=40)
+    assert controller.enabled
+    assert controller.recoverable_fraction > controller.activation_threshold
+
+
+def test_stays_disabled_when_failures_hopeless():
+    controller = OnlineRecoveryController(window=50)
+    feed(controller, clean=60, hopeless=40)
+    assert not controller.enabled
+
+
+def test_disables_again_when_link_recovers():
+    controller = OnlineRecoveryController(window=50)
+    feed(controller, recoverable=50)
+    assert controller.enabled
+    feed(controller, clean=100)  # window slides past the bad period
+    assert not controller.enabled
+    assert controller.decision_changes == 2
+
+
+def test_no_decision_before_half_window():
+    controller = OnlineRecoveryController(window=100)
+    feed(controller, recoverable=40)  # below window//2 observations
+    assert not controller.enabled
+
+
+def test_activation_threshold_scales_with_overhead():
+    cheap = OnlineRecoveryController(
+        RecoveryConfig(overhead_fraction=0.05), window=50
+    )
+    pricey = OnlineRecoveryController(
+        RecoveryConfig(overhead_fraction=0.50), window=50
+    )
+    assert cheap.activation_threshold < pricey.activation_threshold
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OnlineRecoveryController(window=5)
+    with pytest.raises(ValueError):
+        OnlineRecoveryController(activation_margin=0.0)

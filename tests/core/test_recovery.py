@@ -1,0 +1,91 @@
+"""Unit tests for the packet-recovery model (Section VII-A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.recovery import PacketRecovery, RecoveryConfig
+from repro.phy.errors import FrameReception
+from repro.phy.frame import Frame
+
+
+def reception(crc_ok, errored=0, total=1000, duration=0.003):
+    return FrameReception(
+        frame=Frame("s", "r", 60),
+        rssi_dbm=-50.0,
+        crc_ok=crc_ok,
+        errored_bits=errored,
+        total_bits=total,
+        start_time=1.0,
+        end_time=1.0 + duration,
+    )
+
+
+def test_crc_ok_counts_clean():
+    recovery = PacketRecovery()
+    recovery.record(reception(True))
+    assert recovery.stats.crc_ok == 1
+    assert recovery.stats.recovered == 0
+    assert recovery.stats.delivered_with_recovery == 1
+
+
+def test_small_error_fraction_recoverable():
+    recovery = PacketRecovery(RecoveryConfig(max_error_fraction=0.10))
+    recovery.record(reception(False, errored=50, total=1000))  # 5%
+    assert recovery.stats.recovered == 1
+    assert recovery.stats.unrecoverable == 0
+
+
+def test_large_error_fraction_unrecoverable():
+    recovery = PacketRecovery(RecoveryConfig(max_error_fraction=0.10))
+    recovery.record(reception(False, errored=500, total=1000))  # 50%
+    assert recovery.stats.recovered == 0
+    assert recovery.stats.unrecoverable == 1
+
+
+def test_boundary_inclusive():
+    recovery = PacketRecovery(RecoveryConfig(max_error_fraction=0.10))
+    recovery.record(reception(False, errored=100, total=1000))  # exactly 10%
+    assert recovery.stats.recovered == 1
+
+
+def test_overhead_accumulates():
+    recovery = PacketRecovery(
+        RecoveryConfig(max_error_fraction=0.10, overhead_fraction=0.2)
+    )
+    recovery.record(reception(False, errored=10, total=1000, duration=0.004))
+    assert recovery.stats.overhead_airtime_s == pytest.approx(0.0008)
+
+
+def test_recovery_ratio():
+    recovery = PacketRecovery()
+    recovery.record(reception(False, errored=10, total=1000))
+    recovery.record(reception(False, errored=900, total=1000))
+    assert recovery.stats.recovery_ratio == pytest.approx(0.5)
+
+
+def test_recovery_ratio_empty():
+    assert PacketRecovery().stats.recovery_ratio == 0.0
+
+
+def test_zero_bits_unrecoverable():
+    recovery = PacketRecovery()
+    assert not recovery.is_recoverable(reception(False, errored=0, total=0))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RecoveryConfig(max_error_fraction=1.5)
+    with pytest.raises(ValueError):
+        RecoveryConfig(max_error_fraction=-0.1)
+    with pytest.raises(ValueError):
+        RecoveryConfig(overhead_fraction=-1.0)
+
+
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_recoverability_matches_threshold(errored, threshold):
+    recovery = PacketRecovery(RecoveryConfig(max_error_fraction=threshold))
+    rec = reception(False, errored=errored, total=1000)
+    assert recovery.is_recoverable(rec) == (errored / 1000 <= threshold)

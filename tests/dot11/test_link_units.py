@@ -1,0 +1,26 @@
+"""Pure unit tests for the Fig. 2 experiment's data structures."""
+
+import pytest
+
+from repro.dot11.link import SeparationResult
+from repro.experiments.timeline import Interval
+
+
+def test_normalized_throughput():
+    result = SeparationResult(
+        separation_channels=2, link_a_pps=100.0, link_b_pps=80.0,
+        isolated_pps=100.0,
+    )
+    assert result.normalized_throughput == pytest.approx(0.9)
+
+
+def test_normalized_throughput_zero_isolated():
+    result = SeparationResult(
+        separation_channels=0, link_a_pps=1.0, link_b_pps=1.0, isolated_pps=0.0
+    )
+    assert result.normalized_throughput == 0.0
+
+
+def test_interval_duration():
+    interval = Interval(start=1.5, end=2.0, channel_mhz=2460.0, source="a")
+    assert interval.duration == pytest.approx(0.5)

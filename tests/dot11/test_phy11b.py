@@ -1,0 +1,69 @@
+"""Tests for the 802.11b contrast substrate (Fig. 2 behaviour)."""
+
+import pytest
+
+from repro.dot11.link import run_dot15_separation, run_separation
+from repro.dot11.phy11b import (
+    dot11b_channel_mhz,
+    dot11b_mac_params,
+    dot11b_mask,
+)
+
+
+def test_channel_grid():
+    assert dot11b_channel_mhz(1) == 2412.0
+    assert dot11b_channel_mhz(6) == 2437.0
+    assert dot11b_channel_mhz(11) == 2462.0
+    with pytest.raises(ValueError):
+        dot11b_channel_mhz(0)
+    with pytest.raises(ValueError):
+        dot11b_channel_mhz(12)
+
+
+def test_mask_is_wide():
+    """11b signals are ~22 MHz wide: 2 channels (10 MHz) apart still only
+    buys a handful of dB."""
+    mask = dot11b_mask()
+    assert mask.leakage_db(10.0) < 10.0
+    assert mask.leakage_db(25.0) >= 40.0
+
+
+def test_mac_params_are_dcf_scale():
+    params = dot11b_mac_params()
+    assert params.unit_backoff_s == pytest.approx(20e-6)
+    assert params.mac_min_be == 5
+
+
+def test_dot15_concurrent_from_one_channel_apart():
+    results = run_dot15_separation([0, 1], seed=1, duration_s=2.0)
+    same, adjacent = results
+    assert same.normalized_throughput < 0.7
+    assert adjacent.normalized_throughput > 0.9
+
+
+def test_dot11_depressed_at_partial_overlap():
+    results = run_separation([1, 3, 6], seed=1, duration_s=2.0)
+    by_sep = {r.separation_channels: r.normalized_throughput for r in results}
+    # partial overlap (1 and 3 channels apart) stays well below full
+    assert by_sep[1] < 0.8
+    assert by_sep[3] < 0.8
+    # far separation recovers
+    assert by_sep[6] > 0.9
+
+
+def test_dot11_false_locks_are_the_mechanism():
+    """At separation 2 the 802.11b receivers false-lock; at separation 6
+    they do not."""
+    from repro.dot11.link import _TwoLinkWorld
+    from repro.dot11.phy11b import dot11b_channel_mhz as ch
+
+    near = _TwoLinkWorld(1, True, ch(1), ch(3))
+    near.run_saturated(1.0)
+    near_locks = sum(
+        mac.radio.false_locks for mac in near.macs.values()
+    )
+    far = _TwoLinkWorld(1, True, ch(1), ch(1) + 30.0)
+    far.run_saturated(1.0)
+    far_locks = sum(mac.radio.false_locks for mac in far.macs.values())
+    assert near_locks > 50
+    assert far_locks == 0

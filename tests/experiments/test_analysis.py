@@ -1,0 +1,76 @@
+"""Tests for the deployment diagnostics."""
+
+import pytest
+
+from repro.experiments.analysis import (
+    blocking_report,
+    interference_margin_report,
+    link_budget_report,
+    threshold_report,
+)
+from repro.experiments.runner import run_deployment
+from repro.experiments.scenarios import (
+    dcn_policy_factory,
+    evaluation_plan,
+    evaluation_testbed,
+    five_network_plan,
+    standard_testbed,
+)
+
+
+@pytest.fixture(scope="module")
+def fixed_deployment():
+    return standard_testbed(five_network_plan(3.0), seed=2)
+
+
+@pytest.fixture(scope="module")
+def settled_dcn_deployment():
+    deployment = evaluation_testbed(
+        evaluation_plan(3.0), seed=2, policy_factory=dcn_policy_factory()
+    )
+    run_deployment(deployment, duration_s=1.0)  # warm up so DCN settles
+    return deployment
+
+
+def test_link_budget_covers_every_link(fixed_deployment):
+    table = link_budget_report(fixed_deployment)
+    assert len(table.rows) == 10  # 5 networks x 2 links
+    for row in table.rows:
+        assert row["snr_db"] > 20.0  # testbed links are healthy
+        assert row["clean_air_per"] < 0.01
+
+
+def test_blocking_report_finds_cross_channel_blockers(fixed_deployment):
+    table = blocking_report(fixed_deployment)
+    assert len(table.rows) == 10
+    # The whole point of the VI-A rig: some senders are silenced by
+    # cross-channel leakage under the fixed threshold.
+    assert any(row["cross_channel_blockers"] > 0 for row in table.rows)
+    assert all(row["threshold_dbm"] == -77.0 for row in table.rows)
+
+
+def test_dcn_clears_blockers(settled_dcn_deployment):
+    table = blocking_report(settled_dcn_deployment)
+    cross = sum(row["cross_channel_blockers"] for row in table.rows)
+    assert cross == 0  # the evaluation rig is fully cleared by DCN
+
+
+def test_threshold_report_shows_dcn_settled(settled_dcn_deployment):
+    table = threshold_report(settled_dcn_deployment)
+    assert len(table.rows) == 24
+    dcn_rows = [r for r in table.rows if "DCN" in r["policy"]]
+    assert dcn_rows
+    for row in dcn_rows:
+        assert row["adjustments"] >= 1
+        assert row["threshold_dbm"] > -77.0  # relaxed above the default
+
+
+def test_interference_margins(fixed_deployment):
+    table = interference_margin_report(fixed_deployment)
+    assert len(table.rows) == 10
+    margins = [r["margin_db"] for r in table.rows if r["margin_db"] is not None]
+    assert margins
+    # at CFD=3 MHz most links should have positive margins (tolerable
+    # interference), which is the paper's core observation
+    positive = sum(1 for m in margins if m > 0)
+    assert positive >= len(margins) // 2

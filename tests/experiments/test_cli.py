@@ -1,0 +1,36 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig19" in out
+    assert "Table I" in out
+    assert "ablation_oracle" in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "fig999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_run_fast_experiment(capsys):
+    assert main(["run", "fig04", "--fast", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "CPRR" in out
+
+
+def test_run_with_csv(capsys):
+    assert main(["run", "fig04", "--fast", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert "cfd_mhz,normal_cprr" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

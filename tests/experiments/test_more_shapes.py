@@ -1,0 +1,106 @@
+"""Shape tests for the remaining exhibits (fast profile).
+
+Together with ``test_shapes.py`` every registered exhibit is exercised by
+the test suite end-to-end.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig20,
+    fig21,
+    fig25,
+    fig26,
+    fig27,
+    fig28,
+    fig30,
+)
+
+
+@pytest.fixture(scope="module")
+def five_net_tables():
+    """Figs. 14-18 share memoised runs; produce them all at once."""
+    return {
+        "fig14": fig14.run(seed=3, fast=True),
+        "fig15": fig15.run(seed=3, fast=True),
+        "fig16": fig16.run(seed=3, fast=True),
+        "fig17": fig17.run(seed=3, fast=True),
+        "fig18": fig18.run(seed=3, fast=True),
+    }
+
+
+def test_fig14_dcn_on_n0_improves_n0(five_net_tables):
+    for row in five_net_tables["fig14"].rows:
+        assert row["gain_pct"] > 5.0
+    cfd3 = five_net_tables["fig14"].row_by("cfd_mhz", 3.0)
+    assert cfd3["n0_with_dcn_pps"] > 230.0  # near the single-channel rate
+
+
+def test_fig15_neighbours_pay_little(five_net_tables):
+    for row in five_net_tables["fig15"].rows:
+        assert -15.0 < row["change_pct"] < 5.0
+
+
+def test_fig16_fig17_all_networks_improve(five_net_tables):
+    for fig in ("fig16", "fig17"):
+        gains = [row["gain_pct"] for row in five_net_tables[fig].rows]
+        assert all(g > -5.0 for g in gains)
+        assert sum(gains) > 0.0
+
+
+def test_fig17_middle_gains_more_than_edges(five_net_tables):
+    rows = {row["network"]: row["gain_pct"] for row in five_net_tables["fig17"].rows}
+    middle = rows["N0"]
+    edges = (rows["N3"] + rows["N4"]) / 2.0
+    assert middle > edges - 3.0  # middle >= edges within noise
+
+
+def test_fig18_cfd3_beats_cfd2_with_dcn(five_net_tables):
+    table = five_net_tables["fig18"]
+    cfd2 = table.row_by("cfd_mhz", 2.0)["with_dcn_pps"]
+    cfd3 = table.row_by("cfd_mhz", 3.0)["with_dcn_pps"]
+    assert cfd3 > 1.05 * cfd2
+
+
+def test_fig20_power_regimes():
+    table = fig20.run(seed=1, fast=True)
+    by_power = {row["n0_power_dbm"]: row for row in table.rows}
+    assert by_power[-33.0]["n0_throughput_pps"] < 100.0
+    assert by_power[-0.6]["n0_throughput_pps"] > 200.0
+    assert by_power[-33.0]["n0_prr"] < by_power[-0.6]["n0_prr"]
+
+
+def test_fig21_neighbours_unhurt_by_n0_power():
+    table = fig21.run(seed=1, fast=True)
+    values = [row["others_pps"] for row in table.rows]
+    assert min(values) > 0.85 * max(values)  # flat within 15%
+
+
+@pytest.mark.parametrize("module", [fig25, fig26, fig27])
+def test_cases_dcn_wins_overall(module):
+    table = module.run(seed=1, fast=True)
+    zigbee = table.rows[0]["overall_pps"]
+    with_dcn = table.rows[2]["overall_pps"]
+    assert with_dcn > zigbee
+
+
+def test_fig28_recovery_closes_the_gap():
+    table = fig28.run(seed=1, fast=True)
+    relaxed = table.row_by("threshold_dbm", -60.0)
+    gap = relaxed["sent_pps"] - relaxed["received_pps"]
+    closed = relaxed["recoverable_pps"] - relaxed["received_pps"]
+    assert gap > 5.0  # severe interference leaves a real gap
+    assert closed > 0.5 * gap  # recovery rescues most of it
+
+
+def test_fig30_dcn_gains_on_wide_band():
+    table = fig30.run(seed=1, fast=True)
+    assert len(table.rows) == 7
+    total_without = table.sum("without_pps")
+    total_with = table.sum("with_dcn_pps")
+    assert total_with > total_without

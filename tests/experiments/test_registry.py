@@ -1,0 +1,34 @@
+"""Tests for the experiment registry and fast-profile experiment runs."""
+
+import pytest
+
+from repro.experiments.registry import REGISTRY, all_ids, get
+
+
+PAPER_EXHIBITS = {
+    "fig01", "fig02", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "table1", "fig25", "fig26", "fig27", "fig28", "fig29", "fig30",
+}
+
+
+def test_every_paper_exhibit_registered():
+    assert PAPER_EXHIBITS.issubset(set(all_ids()))
+
+
+def test_ablations_registered():
+    for ablation in ("ablation_margin", "ablation_tu", "ablation_ti",
+                     "ablation_oracle", "ablation_mode2", "ablation_energy"):
+        assert ablation in REGISTRY
+
+
+def test_get_unknown_raises_with_hint():
+    with pytest.raises(KeyError, match="fig04"):
+        get("nonexistent")
+
+
+def test_metadata_complete():
+    for experiment in REGISTRY.values():
+        assert experiment.paper_exhibit
+        assert experiment.description
+        assert callable(experiment.run)

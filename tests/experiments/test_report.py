@@ -1,0 +1,40 @@
+"""Unit tests for the EXPERIMENTS.md report renderer (no simulation)."""
+
+from repro.experiments.registry import REGISTRY
+from repro.experiments.report import PAPER_CLAIMS, render_report
+from repro.experiments.results import ResultTable
+
+
+def _dummy_tables():
+    tables = {}
+    elapsed = {}
+    for eid in REGISTRY:
+        table = ResultTable(f"dummy {eid}")
+        table.add_row(metric=1.0)
+        table.add_note("a note")
+        tables[eid] = table
+        elapsed[eid] = 0.5
+    return tables, elapsed
+
+
+def test_every_experiment_has_a_paper_claim():
+    missing = [eid for eid in REGISTRY if eid not in PAPER_CLAIMS]
+    assert missing == []
+
+
+def test_render_contains_every_exhibit():
+    tables, elapsed = _dummy_tables()
+    text = render_report(tables, elapsed, profile="paper", seed=1)
+    for eid, experiment in REGISTRY.items():
+        assert experiment.paper_exhibit in text
+        assert f"dummy {eid}" in text
+    assert "paper vs. measured" in text
+    assert "profile: paper" in text
+
+
+def test_render_includes_claims_and_notes():
+    tables, elapsed = _dummy_tables()
+    text = render_report(tables, elapsed, profile="fast", seed=7)
+    assert PAPER_CLAIMS["fig19"] in text
+    assert "a note" in text
+    assert "seed: 7" in text

@@ -1,0 +1,78 @@
+"""Unit tests for result tables and metrics."""
+
+import pytest
+
+from repro.experiments.metrics import NetworkMeasurement, jain_fairness
+from repro.experiments.results import ResultTable
+
+
+def measurement(label="N0", sent=100, delivered=90, duration=1.0):
+    return NetworkMeasurement(
+        label=label,
+        channel_mhz=2460.0,
+        duration_s=duration,
+        sent=sent,
+        delivered=delivered,
+        crc_failures=5,
+        access_failures=2,
+        cca_attempts=200,
+        cca_busy=80,
+    )
+
+
+def test_measurement_derived_metrics():
+    m = measurement()
+    assert m.throughput_pps == pytest.approx(90.0)
+    assert m.offered_pps == pytest.approx(100.0)
+    assert m.prr == pytest.approx(0.9)
+    assert m.cca_busy_ratio == pytest.approx(0.4)
+
+
+def test_measurement_zero_guards():
+    m = measurement(sent=0, delivered=0, duration=0.0)
+    assert m.throughput_pps == 0.0
+    assert m.prr == 0.0
+
+
+def test_jain_fairness_equal_is_one():
+    assert jain_fairness([100.0, 100.0, 100.0]) == pytest.approx(1.0)
+
+
+def test_jain_fairness_single_winner():
+    assert jain_fairness([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_fairness_validation():
+    with pytest.raises(ValueError):
+        jain_fairness([])
+
+
+def test_table_columns_follow_insertion():
+    table = ResultTable("t")
+    table.add_row(a=1, b=2)
+    table.add_row(a=3, c=4)
+    assert table.columns() == ["a", "b", "c"]
+    assert table.column("b") == [2, None]
+
+
+def test_table_row_lookup_and_sum():
+    table = ResultTable("t")
+    table.add_row(k="x", v=1.0)
+    table.add_row(k="y", v=2.0)
+    assert table.row_by("k", "y")["v"] == 2.0
+    assert table.sum("v") == pytest.approx(3.0)
+    with pytest.raises(KeyError):
+        table.row_by("k", "z")
+
+
+def test_table_render_text_and_csv():
+    table = ResultTable("My Table")
+    table.add_row(name="a", value=1.25)
+    table.add_note("a note")
+    text = table.to_text()
+    assert "My Table" in text
+    assert "a note" in text
+    assert "1.2" in text
+    csv = table.to_csv()
+    assert csv.splitlines()[0] == "name,value"
+    assert "a,1.25" in csv

@@ -1,0 +1,50 @@
+"""Additional rendering tests for ResultTable (pure)."""
+
+from repro.experiments.results import ResultTable
+
+
+def test_float_format_applied():
+    table = ResultTable("t")
+    table.add_row(v=1.23456)
+    assert "1.2346" in table.to_text("{:.4f}")
+    assert "1.2" in table.to_text("{:.1f}")
+
+
+def test_missing_cells_render_as_dash():
+    table = ResultTable("t")
+    table.add_row(a=1)
+    table.add_row(b=2)
+    text = table.to_text()
+    assert "-" in text
+
+
+def test_str_is_text_render():
+    table = ResultTable("hello")
+    table.add_row(x=1)
+    assert str(table) == table.to_text()
+
+
+def test_csv_handles_missing_cells():
+    table = ResultTable("t")
+    table.add_row(a=1)
+    table.add_row(b=2)
+    lines = table.to_csv().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,"
+    assert lines[2] == ",2"
+
+
+def test_notes_appear_in_order():
+    table = ResultTable("t")
+    table.add_row(a=1)
+    table.add_note("first")
+    table.add_note("second")
+    text = table.to_text()
+    assert text.index("first") < text.index("second")
+
+
+def test_bar_chart_zero_peak():
+    table = ResultTable("t")
+    table.add_row(k="a", v=0.0)
+    chart = table.to_bar_chart("k", "v", width=10)
+    assert "a" in chart  # renders without dividing by zero

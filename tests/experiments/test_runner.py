@@ -1,0 +1,65 @@
+"""Tests for the measurement runner."""
+
+import pytest
+
+from repro.experiments.runner import DEFAULT_WARMUP_S, run_deployment
+from repro.experiments.scenarios import evaluation_plan, evaluation_testbed
+
+
+@pytest.fixture(scope="module")
+def result():
+    deployment = evaluation_testbed(evaluation_plan(5.0), seed=4)
+    return run_deployment(deployment, duration_s=2.0, warmup_s=0.5)
+
+
+def test_measures_requested_window(result):
+    assert result.duration_s == 2.0
+    assert result.warmup_s == 0.5
+    for m in result.networks:
+        assert m.duration_s == 2.0
+
+
+def test_warmup_excluded_from_counters():
+    deployment = evaluation_testbed(evaluation_plan(5.0), seed=4)
+    short = run_deployment(deployment, duration_s=1.0, warmup_s=3.0)
+    # a 1 s window cannot contain 4 s worth of packets
+    for m in short.networks:
+        assert m.delivered < 400
+
+
+def test_network_lookup(result):
+    assert result.network("N0").label == "N0"
+    with pytest.raises(KeyError):
+        result.network("N99")
+    others = result.except_network("N0")
+    assert len(others) == len(result.networks) - 1
+    assert all(m.label != "N0" for m in others)
+
+
+def test_overall_is_sum(result):
+    assert result.overall_throughput_pps == pytest.approx(
+        sum(m.throughput_pps for m in result.networks)
+    )
+
+
+def test_fairness_in_unit_range(result):
+    assert 0.0 < result.fairness <= 1.0
+
+
+def test_default_warmup_covers_dcn_phases():
+    # T_I (1 s) + T_U (3 s) must fit inside the default warm-up
+    assert DEFAULT_WARMUP_S >= 4.0
+
+
+def test_zero_duration_rejected():
+    deployment = evaluation_testbed(evaluation_plan(5.0), seed=4)
+    with pytest.raises(ValueError):
+        run_deployment(deployment, duration_s=0.0)
+
+
+def test_runs_compose_on_same_deployment():
+    deployment = evaluation_testbed(evaluation_plan(5.0), seed=4)
+    first = run_deployment(deployment, duration_s=1.0, warmup_s=0.5)
+    second = run_deployment(deployment, duration_s=1.0, warmup_s=0.0)
+    assert deployment.sim.now == pytest.approx(2.5)
+    assert second.overall_throughput_pps > 0

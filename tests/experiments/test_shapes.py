@@ -1,0 +1,96 @@
+"""Shape tests: fast-profile experiment runs must reproduce the paper's
+qualitative claims (who wins, where the knees are).
+
+Each test runs an experiment in its fast profile and asserts the *shape*
+the paper reports, with generous tolerances — absolute packet rates are
+checked only against coarse sanity bands.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig01,
+    fig02,
+    fig06,
+    fig08,
+    fig10,
+    fig19,
+    fig29,
+    table1,
+)
+
+
+def test_fig06_relaxing_monotone_and_lossless():
+    table = fig06.run(seed=1, fast=True)
+    sent = table.column("sent_pps")
+    received = table.column("received_pps")
+    # relaxing the threshold never reduces sent throughput
+    assert sent == sorted(sent)
+    # no co-channel interference: everything sent is received
+    for s, r in zip(sent, received):
+        assert r == pytest.approx(s, rel=0.02, abs=1.0)
+    # the default -77 dBm sits well below the fully-relaxed level
+    default = table.row_by("threshold_dbm", -77.0)["sent_pps"]
+    relaxed = table.row_by("threshold_dbm", -40.0)["sent_pps"]
+    assert relaxed > 1.5 * default
+
+
+def test_fig08_prr_collapses_past_min_rss():
+    table = fig08.run(seed=1, fast=True)
+    protective = table.row_by("threshold_dbm", -60.0)
+    bullying = table.row_by("threshold_dbm", -20.0)
+    assert bullying["sent_pps"] > 1.5 * protective["sent_pps"]
+    assert bullying["prr"] < protective["prr"] - 0.2
+
+
+def test_fig10_power_regimes():
+    table = fig10.run(seed=1, fast=True)
+    by_power = {row["power_dbm"]: row["prr"] for row in table.rows}
+    assert by_power[-8.0] > 0.8
+    assert by_power[-15.0] > 0.8
+    assert by_power[-22.0] > 0.55
+    assert by_power[-33.0] < 0.45
+    assert by_power[-33.0] < by_power[-15.0]
+
+
+def test_fig19_dcn_beats_zigbee_substantially():
+    table = fig19.run(seed=1, fast=True)
+    zigbee = table.rows[0]["overall_pps"]
+    dcn = table.rows[1]["overall_pps"]
+    assert dcn > 1.3 * zigbee  # paper: +58%; band: at least +30%
+    assert table.rows[1]["channels"] == 6
+    assert table.rows[0]["channels"] == 4
+
+
+def test_fig01_three_mhz_beats_zigbee_default_by_40_percent():
+    table = fig01.run(seed=1, fast=True)
+    by_cfd = {row["cfd_mhz"]: row["throughput_pps"] for row in table.rows}
+    assert by_cfd[3.0] > 1.4 * by_cfd[5.0]
+    assert by_cfd[5.0] > by_cfd[9.0]
+    assert by_cfd[4.0] > by_cfd[5.0]
+
+
+def test_fig02_contrast():
+    table = fig02.run(seed=1, fast=True)
+    rows = {row["separation"]: row for row in table.rows}
+    # 802.15.4: full concurrency from one channel apart
+    assert rows[1]["dot15_4_normalized"] > 0.9
+    # 802.11b: still depressed three channels apart
+    assert rows[3]["dot11b_normalized"] < 0.8
+    # both share fairly at co-channel
+    assert 0.3 < rows[0]["dot15_4_normalized"] < 0.75
+
+
+def test_fig29_most_failures_lightly_corrupted():
+    table = fig29.run(seed=1, fast=True)
+    cdf_10 = table.row_by("error_bit_fraction", 0.10)["cumulative"]
+    assert cdf_10 > 0.6  # paper: 0.87
+    cdf_100 = table.row_by("error_bit_fraction", 1.0)["cumulative"]
+    assert cdf_100 == pytest.approx(1.0)
+
+
+def test_table1_fairness_tight():
+    table = table1.run(seed=1, fast=True)
+    values = [row["throughput_pps"] for row in table.rows]
+    assert len(values) == 6
+    assert max(values) / min(values) < 1.25

@@ -1,0 +1,61 @@
+"""Tests for statistics helpers and the bar-chart renderer."""
+
+import pytest
+
+from repro.experiments.results import ResultTable
+from repro.experiments.scenarios import evaluation_plan, evaluation_testbed
+from repro.experiments.stats import seed_sweep, summarize
+
+
+def test_summarize_single_value():
+    summary = summarize([5.0])
+    assert summary.mean == 5.0
+    assert summary.std == 0.0
+    assert summary.ci95 == 0.0
+    assert summary.n == 1
+
+
+def test_summarize_known_values():
+    summary = summarize([1.0, 2.0, 3.0])
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.std == pytest.approx(1.0)
+    assert summary.ci95 == pytest.approx(1.96 / (3**0.5), rel=1e-6)
+    assert "2.0" in str(summary)
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_seed_sweep_runs_each_seed():
+    seen = []
+
+    def factory(seed):
+        seen.append(seed)
+        return evaluation_testbed(evaluation_plan(5.0), seed=seed)
+
+    summary = seed_sweep(factory, seeds=(1, 2), duration_s=1.0, warmup_s=0.5)
+    assert seen == [1, 2]
+    assert summary.n == 2
+    assert summary.mean > 500  # 4 healthy channels
+
+
+def test_bar_chart_renders_scaled_bars():
+    table = ResultTable("demo")
+    table.add_row(design="a", value=50.0)
+    table.add_row(design="b", value=100.0)
+    chart = table.to_bar_chart("design", "value", width=20)
+    lines = chart.splitlines()
+    assert "demo" in lines[0]
+    bar_a = lines[1].split("|")[1].split()[0]
+    bar_b = lines[2].split("|")[1].split()[0]
+    assert len(bar_b) == 20
+    assert len(bar_a) == 10
+
+
+def test_bar_chart_without_numeric_column():
+    table = ResultTable("demo")
+    table.add_row(design="a", value="text")
+    chart = table.to_bar_chart("design", "value")
+    assert "no numeric data" in chart

@@ -1,0 +1,175 @@
+"""Tests for acknowledgement and retransmission support."""
+
+import pytest
+
+from repro.mac.cca import FixedCcaThreshold
+from repro.mac.mac import Mac
+from repro.mac.params import MacParams
+from repro.phy.fading import NoFading
+from repro.phy.frame import ACK_MPDU_BYTES, Frame, ack_airtime_s
+from repro.phy.medium import Medium
+from repro.phy.propagation import FixedRssMatrix
+from repro.phy.radio import Radio
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+def make_pair(loss_db=50.0, reverse_loss_db=None, **param_overrides):
+    params = MacParams(ack_enabled=True, **param_overrides)
+    sim = Simulator()
+    rng = RngStreams(11)
+    matrix = FixedRssMatrix(default_loss_db=200.0)
+    matrix.set_loss((0, 0), (1, 0), loss_db)
+    matrix.set_loss(
+        (1, 0), (0, 0), reverse_loss_db if reverse_loss_db is not None else loss_db
+    )
+    medium = Medium(sim, matrix, fading=NoFading(), rng=rng)
+    macs = {}
+    for name, pos in (("tx", (0, 0)), ("rx", (1, 0))):
+        radio = Radio(sim, medium, name, pos, 2460.0, 0.0, rng=rng)
+        macs[name] = Mac(
+            sim, radio, rng.stream(f"mac.{name}"),
+            params=params, cca_policy=FixedCcaThreshold(-77.0),
+        )
+    return sim, macs
+
+
+def test_ack_frame_structure():
+    ack = Frame.ack("rx", "tx", sequence=7)
+    assert ack.is_ack
+    assert ack.sequence == 7
+    assert ack.total_bits == (6 + ACK_MPDU_BYTES) * 8
+    assert ack.airtime_s == pytest.approx(ack_airtime_s())
+
+
+def test_ack_validation():
+    with pytest.raises(ValueError):
+        Frame("a", "b", 10, is_ack=True)
+    with pytest.raises(ValueError):
+        Frame("a", "b", 0, is_ack=True, ack_request=True)
+
+
+def test_successful_ack_round_trip():
+    sim, macs = make_pair()
+    macs["tx"].send(Frame("tx", "rx", 60))
+    sim.run(1.0)
+    assert macs["rx"].stats.delivered == 1
+    assert macs["rx"].stats.acks_sent == 1
+    assert macs["tx"].stats.acks_received == 1
+    assert macs["tx"].stats.ack_timeouts == 0
+    assert macs["tx"].stats.retransmissions == 0
+    assert not macs["tx"].busy
+
+
+def test_broadcast_frames_not_acked():
+    sim, macs = make_pair()
+    macs["tx"].send(Frame("tx", None, 60))
+    sim.run(1.0)
+    assert macs["rx"].stats.delivered == 1
+    assert macs["rx"].stats.acks_sent == 0
+    assert macs["tx"].stats.acks_received == 0
+
+
+def test_lost_frame_retransmitted_until_delivered():
+    # Forward link too weak to decode (below sensitivity), so the first
+    # attempts never get acked... use an asymmetric scenario instead:
+    # frame reaches rx, but rx's ACK cannot reach tx.
+    sim, macs = make_pair(loss_db=50.0, reverse_loss_db=120.0)
+    macs["tx"].send(Frame("tx", "rx", 60))
+    sim.run(2.0)
+    # Every attempt delivered (duplicates at the receiver) but no ACK heard.
+    assert macs["tx"].stats.ack_timeouts == 4  # initial + 3 retries
+    assert macs["tx"].stats.retransmissions == 3
+    assert macs["tx"].stats.retry_drops == 1
+    assert macs["rx"].stats.delivered == 4
+
+
+def test_retry_count_bounded_by_params():
+    sim, macs = make_pair(
+        loss_db=50.0, reverse_loss_db=120.0, max_frame_retries=1
+    )
+    macs["tx"].send(Frame("tx", "rx", 60))
+    sim.run(2.0)
+    assert macs["tx"].stats.retransmissions == 1
+    assert macs["tx"].stats.retry_drops == 1
+
+
+def test_queue_continues_after_retry_drop():
+    sim, macs = make_pair(loss_db=50.0, reverse_loss_db=120.0)
+    macs["tx"].send(Frame("tx", "rx", 60))
+    macs["tx"].send(Frame("tx", "rx", 60))
+    sim.run(3.0)
+    # both frames eventually dropped after retries, queue fully drained
+    assert macs["tx"].stats.retry_drops == 2
+    assert macs["tx"].queue_length == 0
+    assert not macs["tx"].busy
+
+
+def test_acked_throughput_lower_than_unacked():
+    def run(ack):
+        sim = Simulator()
+        rng = RngStreams(3)
+        matrix = FixedRssMatrix(default_loss_db=200.0)
+        matrix.set_loss((0, 0), (1, 0), 50.0)
+        matrix.set_loss((1, 0), (0, 0), 50.0)
+        medium = Medium(sim, matrix, fading=NoFading(), rng=rng)
+        params = MacParams(ack_enabled=ack)
+        macs = {}
+        for name, pos in (("tx", (0, 0)), ("rx", (1, 0))):
+            radio = Radio(sim, medium, name, pos, 2460.0, 0.0, rng=rng)
+            macs[name] = Mac(
+                sim, radio, rng.stream(f"mac.{name}"),
+                params=params, cca_policy=FixedCcaThreshold(-77.0),
+            )
+        from repro.net.traffic import SaturatedSource
+
+        class _Shim:
+            def __init__(self, mac):
+                self.mac = mac
+                self.name = mac.name
+                self.sim = mac.sim
+
+        SaturatedSource(_Shim(macs["tx"]), "rx").start()
+        sim.run(3.0)
+        return macs["rx"].stats.delivered / 3.0
+
+    unacked = run(False)
+    acked = run(True)
+    assert acked < unacked  # ACK airtime + waits cost throughput
+    assert acked > 0.7 * unacked  # but not catastrophically
+
+
+def test_bidirectional_acked_saturation_does_not_crash():
+    """Stress the ACK/CSMA radio-busy race: both nodes saturate toward
+    each other with ACKs enabled; every transmit path must tolerate the
+    radio being mid-ACK."""
+    from repro.net.traffic import SaturatedSource
+
+    sim = Simulator()
+    rng = RngStreams(21)
+    matrix = FixedRssMatrix(default_loss_db=200.0)
+    matrix.set_loss((0, 0), (1, 0), 50.0)
+    matrix.set_loss((1, 0), (0, 0), 50.0)
+    medium = Medium(sim, matrix, fading=NoFading(), rng=rng)
+    params = MacParams(ack_enabled=True)
+    macs = {}
+    for name, pos in (("a", (0, 0)), ("b", (1, 0))):
+        radio = Radio(sim, medium, name, pos, 2460.0, 0.0, rng=rng)
+        macs[name] = Mac(
+            sim, radio, rng.stream(f"mac.{name}"),
+            params=params, cca_policy=FixedCcaThreshold(-77.0),
+        )
+
+    class _Shim:
+        def __init__(self, mac):
+            self.mac = mac
+            self.name = mac.name
+            self.sim = mac.sim
+
+    SaturatedSource(_Shim(macs["a"]), "b").start()
+    SaturatedSource(_Shim(macs["b"]), "a").start()
+    sim.run(3.0)
+    total = macs["a"].stats.delivered + macs["b"].stats.delivered
+    assert total > 200  # both directions make progress
+    assert macs["a"].stats.acks_sent > 0
+    assert macs["b"].stats.acks_sent > 0

@@ -1,0 +1,51 @@
+"""Unit tests for MAC counters (pure data)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.stats import MacStats
+
+
+def test_defaults_zero():
+    stats = MacStats()
+    assert stats.sent == 0
+    assert stats.delivered == 0
+    assert stats.cca_busy_ratio == 0.0
+    assert stats.prr == 0.0
+
+
+def test_snapshot_is_independent_copy():
+    stats = MacStats(sent=5)
+    snap = stats.snapshot()
+    stats.sent = 9
+    assert snap.sent == 5
+
+
+def test_since_differences_all_fields():
+    earlier = MacStats(sent=5, delivered=3, cca_attempts=10, acks_sent=2)
+    later = MacStats(sent=9, delivered=7, cca_attempts=25, acks_sent=4)
+    delta = later.since(earlier)
+    assert delta.sent == 4
+    assert delta.delivered == 4
+    assert delta.cca_attempts == 15
+    assert delta.acks_sent == 2
+
+
+def test_cca_busy_ratio():
+    stats = MacStats(cca_attempts=10, cca_busy=4)
+    assert stats.cca_busy_ratio == pytest.approx(0.4)
+
+
+def test_receive_side_prr():
+    stats = MacStats(delivered=90, crc_failures=10)
+    assert stats.prr == pytest.approx(0.9)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_since_roundtrip(a, b):
+    earlier = MacStats(sent=a)
+    later = MacStats(sent=a + b)
+    assert later.since(earlier).sent == b

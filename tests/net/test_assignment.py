@@ -1,0 +1,88 @@
+"""Tests for channel-assignment algorithms."""
+
+import pytest
+
+from repro.net.assignment import (
+    assignment_cost,
+    interference_matrix,
+    min_interference_assignment,
+    orthogonal_assignment,
+    reassign,
+)
+from repro.net.topology import clustered_region_topology, fixed_power
+from repro.phy.propagation import LogDistancePathLoss
+from repro.phy.spectrum import EVALUATION_BAND, ChannelPlan
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture()
+def specs():
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, 3.0)
+    rng = RngStreams(6).stream("topology")
+    return clustered_region_topology(
+        plan, rng, region_radius_m=4.0, power=fixed_power(0.0)
+    )
+
+
+@pytest.fixture()
+def path_loss():
+    return LogDistancePathLoss()
+
+
+def test_interference_matrix_shape_and_symmetry_of_magnitude(specs, path_loss):
+    matrix = interference_matrix(specs, path_loss)
+    n = len(specs)
+    assert len(matrix) == n and all(len(row) == n for row in matrix)
+    for i in range(n):
+        assert matrix[i][i] == 0.0
+        for j in range(n):
+            if i != j:
+                assert matrix[i][j] > 0.0
+
+
+def test_orthogonal_assignment_reuses_when_out_of_channels(specs):
+    channels = orthogonal_assignment(specs, 2458.0, 2473.0, 9.0)
+    assert len(channels) == 6
+    assert set(channels) == {2458.0, 2467.0}  # only 2 orthogonal channels
+    assert channels.count(2458.0) == 3  # round-robin reuse
+
+
+def test_min_interference_uses_all_channels_before_reuse(specs, path_loss):
+    plan_channels = [2458.0, 2461.0, 2464.0, 2467.0, 2470.0, 2473.0]
+    channels = min_interference_assignment(specs, plan_channels, path_loss)
+    assert sorted(channels) == sorted(plan_channels)  # one each
+
+
+def test_min_interference_beats_naive_order(specs, path_loss):
+    plan_channels = [2458.0, 2461.0, 2464.0, 2467.0, 2470.0, 2473.0]
+    matrix = interference_matrix(specs, path_loss)
+    smart = min_interference_assignment(specs, plan_channels, path_loss)
+    naive = list(plan_channels)  # arbitrary order
+    assert assignment_cost(specs, smart, matrix) <= assignment_cost(
+        specs, naive, matrix
+    ) * 1.0001
+
+
+def test_assignment_cost_prefers_separation(specs, path_loss):
+    matrix = interference_matrix(specs, path_loss)
+    spread = [2458.0, 2461.0, 2464.0, 2467.0, 2470.0, 2473.0]
+    piled = [2458.0] * 6
+    assert assignment_cost(specs, spread, matrix) < assignment_cost(
+        specs, piled, matrix
+    )
+
+
+def test_reassign_preserves_structure(specs):
+    channels = [2458.0 + i for i in range(len(specs))]
+    new_specs = reassign(specs, channels)
+    for spec, new_spec, channel in zip(specs, new_specs, channels):
+        assert new_spec.channel_mhz == channel
+        assert new_spec.nodes == spec.nodes
+        assert new_spec.links == spec.links
+    with pytest.raises(ValueError):
+        reassign(specs, channels[:-1])
+
+
+def test_min_interference_requires_channels(specs, path_loss):
+    with pytest.raises(ValueError):
+        min_interference_assignment(specs, [], path_loss)

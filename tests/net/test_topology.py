@@ -1,0 +1,154 @@
+"""Unit tests for topology generation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.topology import (
+    clustered_region_topology,
+    fixed_power,
+    one_region_topology,
+    random_power,
+    random_topology,
+    separated_clusters_topology,
+)
+from repro.phy.spectrum import EVALUATION_BAND, ChannelPlan
+from repro.sim.rng import RngStreams
+
+
+def rng(seed=1):
+    return RngStreams(seed).stream("topology")
+
+
+def plan(cfd=3.0):
+    return ChannelPlan.inclusive(EVALUATION_BAND, cfd)
+
+
+GENERATORS = [
+    one_region_topology,
+    clustered_region_topology,
+    separated_clusters_topology,
+    random_topology,
+]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_structure_of_generated_networks(generator):
+    specs = generator(plan(), rng())
+    assert len(specs) == 6
+    labels = [s.label for s in specs]
+    assert labels == [f"N{i}" for i in range(6)]
+    for spec in specs:
+        assert len(spec.links) == 2
+        assert len(spec.nodes) == 4  # the paper's 4 MicaZ nodes per network
+        names = {n.name for n in spec.nodes}
+        for link in spec.links:
+            assert link.sender in names
+            assert link.receiver in names
+            assert link.sender != link.receiver
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+def test_node_names_globally_unique(generator):
+    specs = generator(plan(), rng())
+    names = [n.name for s in specs for n in s.nodes]
+    assert len(names) == len(set(names))
+
+
+def test_reproducible_for_same_seed():
+    a = one_region_topology(plan(), rng(7))
+    b = one_region_topology(plan(), rng(7))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = one_region_topology(plan(), rng(7))
+    b = one_region_topology(plan(), rng(8))
+    assert a != b
+
+
+def test_link_distance_respected():
+    specs = one_region_topology(plan(), rng(), link_distance_m=2.5)
+    for spec in specs:
+        positions = {n.name: n.position for n in spec.nodes}
+        for link in spec.links:
+            d = math.dist(positions[link.sender], positions[link.receiver])
+            assert d == pytest.approx(2.5)
+
+
+def test_one_region_bounded():
+    specs = one_region_topology(
+        plan(), rng(), region_radius_m=2.0, link_distance_m=1.0
+    )
+    for spec in specs:
+        for node in spec.nodes:
+            # sender within the region square; receiver at most 1 m beyond
+            assert math.hypot(*node.position) <= math.hypot(2.0, 2.0) + 1.0 + 1e-9
+
+
+def test_separated_clusters_are_separated():
+    specs = separated_clusters_topology(
+        plan(), rng(), cluster_spacing_m=10.0, cluster_radius_m=0.5,
+        link_distance_m=0.5,
+    )
+    centroids = []
+    for spec in specs:
+        xs = [n.position[0] for n in spec.nodes]
+        ys = [n.position[1] for n in spec.nodes]
+        centroids.append((sum(xs) / len(xs), sum(ys) / len(ys)))
+    for i in range(len(centroids)):
+        for j in range(i + 1, len(centroids)):
+            assert math.dist(centroids[i], centroids[j]) > 3.0
+
+
+def test_random_topology_nearest_pairing_shortens_links():
+    near = random_topology(plan(), rng(3), region_size_m=6.0, pair_nearest=True)
+    far = random_topology(plan(), rng(3), region_size_m=6.0, pair_nearest=False)
+
+    def mean_link(specs):
+        total, count = 0.0, 0
+        for spec in specs:
+            positions = {n.name: n.position for n in spec.nodes}
+            for link in spec.links:
+                total += math.dist(positions[link.sender], positions[link.receiver])
+                count += 1
+        return total / count
+
+    assert mean_link(near) < mean_link(far)
+
+
+def test_fixed_power_assignment():
+    specs = one_region_topology(plan(), rng(), power=fixed_power(-7.0))
+    for spec in specs:
+        for node in spec.nodes:
+            assert node.tx_power_dbm == -7.0
+
+
+def test_random_power_within_range():
+    specs = one_region_topology(plan(), rng(), power=random_power(-22.0, 0.0))
+    powers = [n.tx_power_dbm for s in specs for n in s.nodes]
+    assert all(-22.0 <= p <= 0.0 for p in powers)
+    assert len(set(powers)) > 1
+
+
+def test_random_power_validation():
+    with pytest.raises(ValueError):
+        random_power(0.0, -22.0)
+
+
+def test_network_spec_senders_receivers():
+    specs = one_region_topology(plan(), rng())
+    spec = specs[0]
+    assert len(spec.senders) == 2
+    assert len(spec.receivers) == 2
+    assert set(spec.senders).isdisjoint(set(spec.receivers))
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=1, max_value=4))
+def test_links_per_network_honoured(links):
+    specs = one_region_topology(plan(), rng(), links_per_network=links)
+    for spec in specs:
+        assert len(spec.links) == links
+        assert len(spec.nodes) == 2 * links

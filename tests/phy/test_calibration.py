@@ -1,0 +1,42 @@
+"""Calibration regression tests.
+
+These pin the simulator to the paper's measured anchor points so that any
+change to the mask, BER curve, fading or MAC timing that silently breaks
+the reproduction fails loudly here.
+
+They are slower than unit tests (each runs a short simulation) but still
+bounded to a few seconds apiece.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig04
+
+
+@pytest.fixture(scope="module")
+def cprr_rows():
+    table = fig04.run(seed=2, fast=False)
+    return {row["cfd_mhz"]: row for row in table.rows}
+
+
+def test_cprr_at_4_and_5_mhz_is_full(cprr_rows):
+    for cfd in (4.0, 5.0):
+        assert cprr_rows[cfd]["normal_cprr"] >= 0.985
+        assert cprr_rows[cfd]["attacker_cprr"] >= 0.985
+
+
+def test_cprr_at_3_mhz_near_97_percent(cprr_rows):
+    assert 0.93 <= cprr_rows[3.0]["normal_cprr"] <= 1.0
+
+
+def test_cprr_at_2_mhz_near_70_percent(cprr_rows):
+    assert 0.55 <= cprr_rows[2.0]["normal_cprr"] <= 0.85
+
+
+def test_cprr_at_1_mhz_below_30_percent(cprr_rows):
+    assert cprr_rows[1.0]["normal_cprr"] <= 0.30
+
+
+def test_cprr_monotone_in_cfd(cprr_rows):
+    values = [cprr_rows[c]["normal_cprr"] for c in (1.0, 2.0, 3.0, 4.0)]
+    assert values == sorted(values)

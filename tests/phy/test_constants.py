@@ -1,0 +1,59 @@
+"""Tests for 802.15.4 / CC2420 constants and helpers (pure functions)."""
+
+import pytest
+
+from repro.phy.constants import (
+    BIT_RATE_BPS,
+    CC2420_PA_LEVELS,
+    CCA_DURATION_S,
+    CHANNEL_SPACING_MHZ,
+    DEFAULT_CCA_THRESHOLD_DBM,
+    NOISE_FLOOR_DBM,
+    RX_SENSITIVITY_DBM,
+    SYMBOL_PERIOD_S,
+    TURNAROUND_TIME_S,
+    UNIT_BACKOFF_PERIOD_S,
+    channel_center_mhz,
+    pa_level_for_power,
+)
+
+
+def test_standard_timing_values():
+    assert SYMBOL_PERIOD_S == pytest.approx(16e-6)
+    assert UNIT_BACKOFF_PERIOD_S == pytest.approx(320e-6)
+    assert CCA_DURATION_S == pytest.approx(128e-6)
+    assert TURNAROUND_TIME_S == pytest.approx(192e-6)
+    assert BIT_RATE_BPS == 250_000
+
+
+def test_paper_critical_radio_constants():
+    """The constants the paper's argument hinges on."""
+    assert DEFAULT_CCA_THRESHOLD_DBM == -77.0  # "fixed at -77dBm"
+    assert CHANNEL_SPACING_MHZ == 5.0  # ZigBee default CFD
+    assert RX_SENSITIVITY_DBM == -94.0
+    assert RX_SENSITIVITY_DBM - NOISE_FLOOR_DBM == pytest.approx(6.0)
+
+
+def test_channel_grid():
+    assert channel_center_mhz(11) == 2405.0
+    assert channel_center_mhz(26) == 2480.0
+    assert channel_center_mhz(20) - channel_center_mhz(19) == 5.0
+    with pytest.raises(ValueError):
+        channel_center_mhz(10)
+    with pytest.raises(ValueError):
+        channel_center_mhz(27)
+
+
+def test_pa_level_selection():
+    assert pa_level_for_power(0.0) == 31
+    assert pa_level_for_power(-25.0) == 3
+    # Requesting -4 dBm: the smallest level delivering at least that is -3.
+    assert CC2420_PA_LEVELS[pa_level_for_power(-4.0)] == -3.0
+    with pytest.raises(ValueError):
+        pa_level_for_power(5.0)
+
+
+def test_pa_levels_monotone():
+    levels = sorted(CC2420_PA_LEVELS)
+    powers = [CC2420_PA_LEVELS[level] for level in levels]
+    assert powers == sorted(powers)

@@ -1,0 +1,71 @@
+"""Unit tests for frame structure and airtime."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.constants import BIT_RATE_BPS
+from repro.phy.frame import Frame, frame_airtime_s, payload_for_airtime
+
+
+def test_airtime_known_value():
+    # 60-byte payload: 6 (PHY) + 11 (MHR) + 60 + 2 (FCS) = 79 bytes.
+    assert frame_airtime_s(60) == pytest.approx(79 * 8 / 250_000)
+
+
+def test_airtime_rejects_oversize():
+    with pytest.raises(ValueError):
+        frame_airtime_s(127)  # MPDU would exceed 127 bytes
+
+
+def test_payload_for_airtime_roundtrip():
+    payload = payload_for_airtime(frame_airtime_s(60))
+    assert payload == 60
+
+
+def test_payload_for_airtime_too_short():
+    with pytest.raises(ValueError):
+        payload_for_airtime(1e-5)
+
+
+def test_frame_ids_unique():
+    a = Frame("s", "r", 10)
+    b = Frame("s", "r", 10)
+    assert a.frame_id != b.frame_id
+
+
+def test_frame_airtime_and_bits():
+    frame = Frame("s", "r", 60)
+    assert frame.airtime_s == pytest.approx(frame_airtime_s(60))
+    assert frame.total_bits == 79 * 8
+    assert frame.mpdu_bits == 73 * 8
+
+
+def test_frame_bit_rate_override():
+    slow = Frame("s", "r", 60)
+    fast = Frame("s", "r", 60, bit_rate_bps=1_000_000)
+    assert fast.airtime_s == pytest.approx(slow.airtime_s / 4.0)
+
+
+def test_frame_validation():
+    with pytest.raises(ValueError):
+        Frame("s", "r", -1)
+    with pytest.raises(ValueError):
+        Frame("s", "r", 200)
+    with pytest.raises(ValueError):
+        Frame("s", "r", 10, bit_rate_bps=0)
+
+
+def test_broadcast():
+    assert Frame("s", None, 10).is_broadcast()
+    assert not Frame("s", "r", 10).is_broadcast()
+
+
+@given(st.integers(min_value=0, max_value=114))
+def test_airtime_monotone_in_payload(payload):
+    assert frame_airtime_s(payload + 0) <= frame_airtime_s(min(payload + 1, 114))
+
+
+@given(st.integers(min_value=0, max_value=114))
+def test_airtime_consistent_with_bits(payload):
+    frame = Frame("s", None, payload)
+    assert frame.airtime_s == pytest.approx(frame.total_bits / BIT_RATE_BPS)

@@ -1,0 +1,109 @@
+"""Unit tests and properties for spectral masks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.mask import (
+    CC2420_LEAKAGE_POINTS,
+    CCA_LEAKAGE_POINTS,
+    PerfectOrthogonalMask,
+    PiecewiseLinearMask,
+    ShiftedMask,
+    default_cca_mask,
+    default_mask,
+)
+
+
+def test_default_mask_anchor_points():
+    mask = default_mask()
+    for freq, atten in CC2420_LEAKAGE_POINTS:
+        assert mask.leakage_db(freq) == pytest.approx(atten)
+
+
+def test_mask_symmetric_in_offset():
+    mask = default_mask()
+    for df in (0.5, 1.0, 2.5, 4.0, 7.7):
+        assert mask.leakage_db(df) == pytest.approx(mask.leakage_db(-df))
+
+
+def test_mask_interpolates():
+    mask = PiecewiseLinearMask([(0.0, 0.0), (2.0, 10.0)], max_db=40.0)
+    assert mask.leakage_db(1.0) == pytest.approx(5.0)
+
+
+def test_mask_extends_beyond_last_point_with_cap():
+    mask = PiecewiseLinearMask([(0.0, 0.0), (1.0, 10.0)], max_db=25.0)
+    # continues at 10 dB/MHz until the cap
+    assert mask.leakage_db(2.0) == pytest.approx(20.0)
+    assert mask.leakage_db(10.0) == pytest.approx(25.0)
+
+
+def test_mask_validation():
+    with pytest.raises(ValueError):
+        PiecewiseLinearMask([])
+    with pytest.raises(ValueError):
+        PiecewiseLinearMask([(1.0, 0.0)])  # must start at 0
+    with pytest.raises(ValueError):
+        PiecewiseLinearMask([(0.0, 0.0), (0.0, 1.0)])  # not increasing
+    with pytest.raises(ValueError):
+        PiecewiseLinearMask([(0.0, 5.0), (1.0, 1.0)])  # decreasing atten
+    with pytest.raises(ValueError):
+        PiecewiseLinearMask([(0.0, 0.0), (1.0, 10.0)], max_db=5.0)
+
+
+def test_attenuated_power():
+    mask = default_mask()
+    assert mask.attenuated_power_dbm(-50.0, 0.0) == pytest.approx(-50.0)
+    assert mask.attenuated_power_dbm(-50.0, 3.0) == pytest.approx(
+        -50.0 - mask.leakage_db(3.0)
+    )
+
+
+def test_perfect_orthogonal_mask():
+    mask = PerfectOrthogonalMask()
+    assert mask.leakage_db(0.0) == 0.0
+    assert mask.leakage_db(0.2) == 0.0
+    assert mask.leakage_db(1.0) == mask.max_db
+
+
+def test_shifted_mask_adds_rejection_off_channel_only():
+    base = default_mask()
+    shifted = ShiftedMask(base, extra_db=5.0, from_mhz=0.75)
+    assert shifted.leakage_db(0.0) == base.leakage_db(0.0)
+    assert shifted.leakage_db(0.5) == base.leakage_db(0.5)
+    assert shifted.leakage_db(3.0) == pytest.approx(base.leakage_db(3.0) + 5.0)
+
+
+def test_default_cca_mask_is_sharper_than_decode():
+    decode = default_mask()
+    sensing = default_cca_mask()
+    assert sensing.leakage_db(0.0) == pytest.approx(0.0)
+    for df in (2.0, 3.0, 5.0, 9.0):
+        assert sensing.leakage_db(df) > decode.leakage_db(df)
+
+
+def test_default_cca_mask_for_custom_base_uses_shift():
+    base = PiecewiseLinearMask([(0.0, 0.0), (5.0, 10.0)], max_db=30.0)
+    sensing = default_cca_mask(base)
+    assert isinstance(sensing, ShiftedMask)
+    assert sensing.leakage_db(5.0) == pytest.approx(15.0)
+
+
+def test_cca_anchor_points():
+    sensing = default_cca_mask()
+    for freq, atten in CCA_LEAKAGE_POINTS:
+        assert sensing.leakage_db(freq) == pytest.approx(atten)
+
+
+@given(st.floats(min_value=0.0, max_value=30.0), st.floats(min_value=0.0, max_value=30.0))
+def test_default_mask_monotone(df1, df2):
+    mask = default_mask()
+    if df1 <= df2:
+        assert mask.leakage_db(df1) <= mask.leakage_db(df2) + 1e-9
+
+
+@given(st.floats(min_value=-30.0, max_value=30.0))
+def test_leakage_never_negative_or_above_cap(df):
+    mask = default_mask()
+    value = mask.leakage_db(df)
+    assert 0.0 <= value <= mask.max_db

@@ -1,0 +1,83 @@
+"""Tests for medium-level signal delivery."""
+
+import pytest
+
+from repro.phy.fading import LogNormalFading, NoFading
+from repro.phy.frame import Frame
+from repro.phy.medium import Medium
+from repro.phy.propagation import FixedRssMatrix, LogDistancePathLoss
+from repro.phy.radio import Radio
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+def test_delivery_floor_prunes_inaudible_receivers():
+    sim = Simulator()
+    matrix = FixedRssMatrix(default_loss_db=200.0)
+    matrix.set_loss((0, 0), (1, 0), 50.0)
+    matrix.set_loss((0, 0), (2, 0), 150.0)  # -150 dBm: far below the floor
+    medium = Medium(
+        sim, matrix, fading=NoFading(), rng=RngStreams(1),
+        delivery_floor_dbm=-115.0,
+    )
+    tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0)
+    near = Radio(sim, medium, "near", (1, 0), 2460.0, 0.0)
+    far = Radio(sim, medium, "far", (2, 0), 2460.0, 0.0)
+    tx.transmit(Frame("tx", None, 60), lambda t: None)
+    assert len(near.active_signals) == 1
+    assert len(far.active_signals) == 0
+    sim.run(1.0)
+    assert near.active_signals == []
+
+
+def test_transmitter_does_not_hear_itself():
+    sim = Simulator()
+    medium = Medium(
+        sim, FixedRssMatrix(default_loss_db=10.0), fading=NoFading(),
+        rng=RngStreams(1),
+    )
+    tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0)
+    tx.transmit(Frame("tx", None, 60), lambda t: None)
+    assert tx.active_signals == []
+
+
+def test_fading_varies_per_packet_and_receiver():
+    sim = Simulator()
+    medium = Medium(
+        sim,
+        LogDistancePathLoss(),
+        fading=LogNormalFading(sigma_db=4.0),
+        rng=RngStreams(5),
+    )
+    tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0)
+    rx = Radio(sim, medium, "rx", (2, 0), 2460.0, 0.0)
+    rssis = []
+    rx.add_frame_listener(lambda rec: rssis.append(rec.rssi_dbm))
+
+    def send(remaining):
+        if remaining == 0:
+            return
+        tx.transmit(Frame("tx", "rx", 60), lambda t: send(remaining - 1))
+
+    send(20)
+    sim.run(1.0)
+    assert len(rssis) == 20
+    assert len(set(round(r, 3) for r in rssis)) > 10  # genuinely varying
+    mean = sum(rssis) / len(rssis)
+    expected = LogDistancePathLoss().received_power_dbm(0.0, (0, 0), (2, 0))
+    assert mean == pytest.approx(expected, abs=4.0)
+
+
+def test_transmission_end_time_matches_airtime():
+    sim = Simulator()
+    medium = Medium(
+        sim, FixedRssMatrix(default_loss_db=50.0), fading=NoFading(),
+        rng=RngStreams(1),
+    )
+    tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0)
+    frame = Frame("tx", None, 60)
+    done = {}
+    transmission = tx.transmit(frame, lambda t: done.update(at=sim.now))
+    assert transmission.airtime_s == pytest.approx(frame.airtime_s)
+    sim.run(1.0)
+    assert done["at"] == pytest.approx(frame.airtime_s)

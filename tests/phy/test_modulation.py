@@ -1,0 +1,85 @@
+"""Unit tests and properties for BER models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.modulation import (
+    dbpsk_ber,
+    dqpsk_ber,
+    expected_bit_errors,
+    oqpsk_ber,
+    packet_error_rate,
+)
+
+
+def test_oqpsk_extremes():
+    assert oqpsk_ber(-30.0) == pytest.approx(0.5)
+    assert oqpsk_ber(40.0) == 0.0
+
+
+def test_oqpsk_sensitivity_anchor():
+    """CC2420 sensitivity: ~1 % PER for a ~100-byte MPDU near 6 dB SNR."""
+    per_at_6db = packet_error_rate(oqpsk_ber(6.0), 888)
+    assert per_at_6db < 0.05
+    per_at_4db = packet_error_rate(oqpsk_ber(4.0), 888)
+    assert per_at_4db > 0.2
+
+
+def test_oqpsk_co_channel_collision_destroys_packets():
+    """Equal-power co-channel collision (SINR ~0 dB) must corrupt."""
+    assert packet_error_rate(oqpsk_ber(0.0), 888) > 0.99
+
+
+@given(st.floats(min_value=-20.0, max_value=20.0), st.floats(min_value=0.05, max_value=5.0))
+def test_oqpsk_monotone_decreasing(sinr, delta):
+    assert oqpsk_ber(sinr + delta) <= oqpsk_ber(sinr) + 1e-12
+
+
+@given(st.floats(min_value=-30.0, max_value=40.0))
+def test_oqpsk_is_probability(sinr):
+    ber = oqpsk_ber(sinr)
+    assert 0.0 <= ber <= 0.5
+
+
+def test_dbpsk_monotone_and_bounded():
+    assert dbpsk_ber(-10.0) <= 0.5
+    assert dbpsk_ber(10.0) < dbpsk_ber(0.0) < dbpsk_ber(-10.0)
+    assert dbpsk_ber(20.0) < 1e-9
+
+
+def test_dqpsk_worse_than_dbpsk_at_same_sinr():
+    # lower processing gain -> higher BER at equal SINR
+    assert dqpsk_ber(0.0) > dbpsk_ber(0.0)
+
+
+def test_packet_error_rate_edge_cases():
+    assert packet_error_rate(0.0, 1000) == 0.0
+    assert packet_error_rate(1.0, 1000) == 1.0
+    assert packet_error_rate(0.5, 0) == 0.0
+    with pytest.raises(ValueError):
+        packet_error_rate(0.1, -1)
+
+
+def test_packet_error_rate_formula():
+    assert packet_error_rate(0.01, 100) == pytest.approx(1 - 0.99**100)
+
+
+def test_expected_bit_errors():
+    assert expected_bit_errors(0.01, 1000) == pytest.approx(10.0)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_per_is_probability(ber, n_bits):
+    per = packet_error_rate(ber, n_bits)
+    assert 0.0 <= per <= 1.0
+
+
+@given(
+    st.floats(min_value=1e-6, max_value=0.1),
+    st.integers(min_value=1, max_value=5000),
+)
+def test_per_increases_with_length(ber, n_bits):
+    assert packet_error_rate(ber, n_bits + 1) >= packet_error_rate(ber, n_bits)

@@ -1,0 +1,80 @@
+"""Unit tests and properties for path-loss models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.propagation import (
+    FixedRssMatrix,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    distance,
+)
+
+
+def test_distance():
+    assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+
+def test_log_distance_reference_point():
+    model = LogDistancePathLoss(exponent=3.0, reference_loss_db=40.2)
+    rss = model.received_power_dbm(0.0, (0, 0), (1, 0))
+    assert rss == pytest.approx(-40.2)
+
+
+def test_log_distance_slope():
+    model = LogDistancePathLoss(exponent=3.0, reference_loss_db=40.0)
+    at_1m = model.received_power_dbm(0.0, (0, 0), (1, 0))
+    at_10m = model.received_power_dbm(0.0, (0, 0), (10, 0))
+    assert at_1m - at_10m == pytest.approx(30.0)
+
+
+def test_free_space_slope_is_20db_per_decade():
+    model = FreeSpacePathLoss()
+    at_1m = model.received_power_dbm(0.0, (0, 0), (1, 0))
+    at_10m = model.received_power_dbm(0.0, (0, 0), (10, 0))
+    assert at_1m - at_10m == pytest.approx(20.0)
+
+
+def test_min_distance_clamps():
+    model = LogDistancePathLoss(min_distance_m=0.1)
+    at_zero = model.received_power_dbm(0.0, (0, 0), (0, 0))
+    at_clamp = model.received_power_dbm(0.0, (0, 0), (0.1, 0))
+    assert at_zero == pytest.approx(at_clamp)
+
+
+def test_distance_for_rss_inverts_model():
+    model = LogDistancePathLoss()
+    d = model.distance_for_rss(0.0, -55.0)
+    rss = model.received_power_dbm(0.0, (0, 0), (d, 0))
+    assert rss == pytest.approx(-55.0, abs=1e-9)
+
+
+def test_tx_power_shifts_rss_linearly():
+    model = LogDistancePathLoss()
+    base = model.received_power_dbm(0.0, (0, 0), (3, 0))
+    hot = model.received_power_dbm(10.0, (0, 0), (3, 0))
+    assert hot - base == pytest.approx(10.0)
+
+
+def test_fixed_rss_matrix():
+    matrix = FixedRssMatrix(default_loss_db=100.0)
+    matrix.set_loss((0, 0), (1, 0), 50.0)
+    assert matrix.received_power_dbm(0.0, (0, 0), (1, 0)) == pytest.approx(-50.0)
+    assert matrix.received_power_dbm(0.0, (1, 0), (0, 0)) == pytest.approx(-100.0)
+    matrix.set_symmetric_loss((2, 0), (3, 0), 60.0)
+    assert matrix.received_power_dbm(0.0, (2, 0), (3, 0)) == pytest.approx(-60.0)
+    assert matrix.received_power_dbm(0.0, (3, 0), (2, 0)) == pytest.approx(-60.0)
+
+
+@given(
+    st.floats(min_value=0.2, max_value=100.0),
+    st.floats(min_value=0.2, max_value=100.0),
+)
+def test_rss_monotone_in_distance(d1, d2):
+    model = LogDistancePathLoss()
+    rss1 = model.received_power_dbm(0.0, (0, 0), (d1, 0))
+    rss2 = model.received_power_dbm(0.0, (0, 0), (d2, 0))
+    if d1 < d2:
+        assert rss1 >= rss2
+    elif d1 > d2:
+        assert rss1 <= rss2

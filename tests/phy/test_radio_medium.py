@@ -1,0 +1,236 @@
+"""Integration tests for Medium + Radio + Reception.
+
+These use :class:`FixedRssMatrix` so every link budget is exact, and
+``NoFading`` so outcomes are deterministic.
+"""
+
+import pytest
+
+from repro.phy.errors import FrameReception
+from repro.phy.fading import NoFading
+from repro.phy.frame import Frame
+from repro.phy.mask import default_mask
+from repro.phy.medium import Medium
+from repro.phy.propagation import FixedRssMatrix
+from repro.phy.radio import Radio, RadioConfig, RadioState
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+def make_world(loss_entries, positions, channels, power_dbm=0.0):
+    """Build a small deterministic world.
+
+    loss_entries: {(tx_name, rx_name): loss_db}
+    positions: {name: (x, y)}  (positions only matter as matrix keys)
+    channels: {name: mhz}
+    """
+    sim = Simulator()
+    matrix = FixedRssMatrix(default_loss_db=200.0)
+    for (tx, rx), loss in loss_entries.items():
+        matrix.set_loss(positions[tx], positions[rx], loss)
+    medium = Medium(sim, matrix, fading=NoFading(), rng=RngStreams(1))
+    radios = {}
+    for name, pos in positions.items():
+        radios[name] = Radio(
+            sim=sim,
+            medium=medium,
+            name=name,
+            position=pos,
+            channel_mhz=channels[name],
+            tx_power_dbm=power_dbm,
+        )
+    return sim, medium, radios
+
+
+def collect(radio):
+    outcomes = []
+    radio.add_frame_listener(outcomes.append)
+    return outcomes
+
+
+def test_clean_co_channel_delivery():
+    sim, _, radios = make_world(
+        {("a", "b"): 50.0},
+        {"a": (0, 0), "b": (1, 0)},
+        {"a": 2460.0, "b": 2460.0},
+    )
+    received = collect(radios["b"])
+    frame = Frame("a", "b", 60)
+    radios["a"].transmit(frame, lambda tx: None)
+    sim.run(1.0)
+    assert len(received) == 1
+    assert received[0].crc_ok
+    assert received[0].rssi_dbm == pytest.approx(-50.0)
+    assert received[0].frame is frame
+
+
+def test_signal_below_sensitivity_not_locked():
+    sim, _, radios = make_world(
+        {("a", "b"): 96.0},  # -96 dBm < -94 sensitivity
+        {"a": (0, 0), "b": (1, 0)},
+        {"a": 2460.0, "b": 2460.0},
+    )
+    received = collect(radios["b"])
+    radios["a"].transmit(Frame("a", "b", 60), lambda tx: None)
+    sim.run(1.0)
+    assert received == []
+
+
+def test_off_channel_frame_never_locked():
+    """The 802.15.4-defining behaviour: a strong 3 MHz-offset signal is
+    interference, never a receivable frame."""
+    sim, _, radios = make_world(
+        {("a", "b"): 40.0},
+        {"a": (0, 0), "b": (1, 0)},
+        {"a": 2463.0, "b": 2460.0},
+    )
+    received = collect(radios["b"])
+    radios["a"].transmit(Frame("a", "b", 60), lambda tx: None)
+    sim.run(1.0)
+    assert received == []
+
+
+def test_equal_power_co_channel_collision_corrupts():
+    sim, _, radios = make_world(
+        {("a", "r"): 50.0, ("b", "r"): 50.0, ("a", "b"): 60.0, ("b", "a"): 60.0},
+        {"a": (0, 0), "b": (2, 0), "r": (1, 0)},
+        {"a": 2460.0, "b": 2460.0, "r": 2460.0},
+    )
+    outcomes = collect(radios["r"])
+    radios["a"].transmit(Frame("a", "r", 60), lambda tx: None)
+    # b starts mid-frame of a.
+    sim.schedule(0.001, lambda: radios["b"].transmit(Frame("b", "r", 60), lambda tx: None))
+    sim.run(1.0)
+    assert len(outcomes) == 1  # locked onto a's frame only
+    assert not outcomes[0].crc_ok
+    assert outcomes[0].errored_bits > 0
+
+
+def test_strong_capture_survives_weak_interferer():
+    sim, _, radios = make_world(
+        {("a", "r"): 40.0, ("b", "r"): 70.0},
+        {"a": (0, 0), "b": (2, 0), "r": (1, 0)},
+        {"a": 2460.0, "b": 2460.0, "r": 2460.0},
+    )
+    outcomes = collect(radios["r"])
+    radios["a"].transmit(Frame("a", "r", 60), lambda tx: None)
+    sim.schedule(0.0005, lambda: radios["b"].transmit(Frame("b", "r", 60), lambda tx: None))
+    sim.run(1.0)
+    locked_a = [o for o in outcomes if o.frame.source == "a"]
+    assert len(locked_a) == 1
+    assert locked_a[0].crc_ok  # 30 dB SIR
+
+
+def test_inter_channel_interference_tolerable_at_3mhz():
+    """Fig. 6's premise: a 3 MHz-offset interferer at comparable power does
+    not corrupt the co-channel frame."""
+    sim, _, radios = make_world(
+        {("a", "r"): 45.0, ("i", "r"): 48.0},
+        {"a": (0, 0), "i": (2, 0), "r": (1, 0)},
+        {"a": 2460.0, "i": 2463.0, "r": 2460.0},
+    )
+    outcomes = collect(radios["r"])
+    radios["a"].transmit(Frame("a", "r", 60), lambda tx: None)
+    sim.schedule(0.0005, lambda: radios["i"].transmit(Frame("i", None, 60), lambda tx: None))
+    sim.run(1.0)
+    assert len(outcomes) == 1
+    assert outcomes[0].crc_ok
+
+
+def test_co_channel_interference_at_1mhz_corrupts():
+    """Same geometry but only 1 MHz away: leakage ~2 dB -> SINR ~5 dB."""
+    sim, _, radios = make_world(
+        {("a", "r"): 45.0, ("i", "r"): 43.0},
+        {"a": (0, 0), "i": (2, 0), "r": (1, 0)},
+        {"a": 2460.0, "i": 2461.0, "r": 2460.0},
+    )
+    outcomes = collect(radios["r"])
+    radios["a"].transmit(Frame("a", "r", 60), lambda tx: None)
+    sim.schedule(0.0005, lambda: radios["i"].transmit(Frame("i", None, 60), lambda tx: None))
+    sim.run(1.0)
+    assert len(outcomes) == 1
+    assert not outcomes[0].crc_ok
+
+
+def test_half_duplex_transmitter_misses_frames():
+    sim, _, radios = make_world(
+        {("a", "b"): 50.0, ("b", "a"): 50.0},
+        {"a": (0, 0), "b": (1, 0)},
+        {"a": 2460.0, "b": 2460.0},
+    )
+    received_by_a = collect(radios["a"])
+    # both transmit simultaneously: neither receives.
+    radios["a"].transmit(Frame("a", "b", 60), lambda tx: None)
+    radios["b"].transmit(Frame("b", "a", 60), lambda tx: None)
+    sim.run(1.0)
+    assert received_by_a == []
+
+
+def test_transmit_aborts_ongoing_reception():
+    sim, _, radios = make_world(
+        {("a", "b"): 50.0},
+        {"a": (0, 0), "b": (1, 0)},
+        {"a": 2460.0, "b": 2460.0},
+    )
+    received = collect(radios["b"])
+    radios["a"].transmit(Frame("a", "b", 60), lambda tx: None)
+    sim.schedule(0.001, lambda: radios["b"].transmit(Frame("b", None, 10), lambda tx: None))
+    sim.run(1.0)
+    assert received == []
+    assert radios["b"].state is RadioState.IDLE
+
+
+def test_cca_and_sensing():
+    sim, _, radios = make_world(
+        {("a", "b"): 50.0},
+        {"a": (0, 0), "b": (1, 0)},
+        {"a": 2460.0, "b": 2460.0},
+    )
+    sensed = {}
+
+    def measure():
+        sensed["during"] = radios["b"].sense_power_dbm()
+        sensed["busy_at_default"] = radios["b"].cca_busy(-77.0)
+        sensed["idle_at_minus40"] = not radios["b"].cca_busy(-40.0)
+
+    radios["a"].transmit(Frame("a", None, 60), lambda tx: None)
+    sim.schedule(0.001, measure)
+    sim.run(1.0)
+    assert sensed["during"] == pytest.approx(-50.0, abs=0.1)
+    assert sensed["busy_at_default"]
+    assert sensed["idle_at_minus40"]
+    # after the frame, only noise remains
+    assert radios["b"].sense_power_dbm() == pytest.approx(-100.0, abs=0.1)
+
+
+def test_sensing_uses_sharper_cca_mask():
+    sim, _, radios = make_world(
+        {("a", "b"): 45.0},
+        {"a": (0, 0), "b": (1, 0)},
+        {"a": 2463.0, "b": 2460.0},  # 3 MHz offset
+    )
+    readings = {}
+
+    def measure():
+        readings["sense"] = radios["b"].sense_power_dbm()
+
+    radios["a"].transmit(Frame("a", None, 60), lambda tx: None)
+    sim.schedule(0.001, measure)
+    sim.run(1.0)
+    # decode-path leakage is 18 dB, sensing-path 26 dB
+    assert readings["sense"] == pytest.approx(-45.0 - 26.0, abs=0.5)
+
+
+def test_double_transmit_rejected():
+    sim, _, radios = make_world(
+        {}, {"a": (0, 0)}, {"a": 2460.0}
+    )
+    radios["a"].transmit(Frame("a", None, 60), lambda tx: None)
+    with pytest.raises(RuntimeError):
+        radios["a"].transmit(Frame("a", None, 60), lambda tx: None)
+
+
+def test_duplicate_registration_rejected():
+    sim, medium, radios = make_world({}, {"a": (0, 0)}, {"a": 2460.0})
+    with pytest.raises(ValueError):
+        medium.register(radios["a"])

@@ -1,0 +1,149 @@
+"""Focused tests for reception segmentation and determinism."""
+
+import pytest
+
+from repro.phy.fading import NoFading
+from repro.phy.frame import Frame
+from repro.phy.medium import Medium
+from repro.phy.propagation import FixedRssMatrix
+from repro.phy.radio import Radio
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+
+def build(losses, channels, seed=1):
+    sim = Simulator()
+    rng = RngStreams(seed)
+    matrix = FixedRssMatrix(default_loss_db=200.0)
+    positions = {name: (i, 0) for i, name in enumerate(channels)}
+    for (tx, rx), loss in losses.items():
+        matrix.set_loss(positions[tx], positions[rx], loss)
+    medium = Medium(sim, matrix, fading=NoFading(), rng=rng)
+    radios = {
+        name: Radio(sim, medium, name, positions[name], ch, 0.0, rng=rng)
+        for name, ch in channels.items()
+    }
+    return sim, radios
+
+
+def test_partial_overlap_corrupts_only_mid_frame():
+    """An interferer overlapping only part of the frame corrupts the
+    overlapped segment; errored bits stay well below total bits."""
+    sim, radios = build(
+        {("a", "r"): 45.0, ("i", "r"): 43.0},
+        {"a": 2460.0, "i": 2460.5, "r": 2460.0},
+    )
+    outcomes = []
+    radios["r"].add_frame_listener(outcomes.append)
+    frame = Frame("a", "r", 100)  # ~3.8 ms airtime
+    radios["a"].transmit(frame, lambda tx: None)
+    # interferer only covers the last ~20% of the frame
+    sim.schedule(
+        0.8 * frame.airtime_s,
+        lambda: radios["i"].transmit(Frame("i", None, 100), lambda tx: None),
+    )
+    sim.run(1.0)
+    assert len(outcomes) == 1
+    outcome = outcomes[0]
+    assert not outcome.crc_ok
+    # damage confined to roughly the overlapped fifth of the frame
+    assert 0 < outcome.errored_bits < 0.45 * outcome.total_bits
+
+
+def test_error_fraction_grows_with_overlap():
+    def run(overlap_fraction):
+        sim, radios = build(
+            {("a", "r"): 45.0, ("i", "r"): 43.0},
+            {"a": 2460.0, "i": 2460.5, "r": 2460.0},
+            seed=3,
+        )
+        outcomes = []
+        radios["r"].add_frame_listener(outcomes.append)
+        frame = Frame("a", "r", 100)
+        radios["a"].transmit(frame, lambda tx: None)
+        sim.schedule(
+            (1.0 - overlap_fraction) * frame.airtime_s,
+            lambda: radios["i"].transmit(Frame("i", None, 100), lambda tx: None),
+        )
+        sim.run(1.0)
+        return outcomes[0].error_fraction
+
+    small = run(0.1)
+    large = run(0.7)
+    assert large > small
+
+
+def test_reception_deterministic_for_seed():
+    def run(seed):
+        sim, radios = build(
+            {("a", "r"): 45.0, ("i", "r"): 45.0},
+            {"a": 2460.0, "i": 2461.0, "r": 2460.0},
+            seed=seed,
+        )
+        outcomes = []
+        radios["r"].add_frame_listener(outcomes.append)
+        radios["a"].transmit(Frame("a", "r", 100), lambda tx: None)
+        sim.schedule(
+            0.001, lambda: radios["i"].transmit(Frame("i", None, 100), lambda tx: None)
+        )
+        sim.run(1.0)
+        return outcomes[0].errored_bits
+
+    assert run(7) == run(7)
+
+
+def test_back_to_back_frames_both_received():
+    """End-before-start ordering at identical timestamps: the second frame
+    must be locked cleanly after the first ends."""
+    sim, radios = build(
+        {("a", "r"): 45.0},
+        {"a": 2460.0, "r": 2460.0},
+    )
+    outcomes = []
+    radios["r"].add_frame_listener(outcomes.append)
+    first = Frame("a", "r", 60)
+
+    def send_second(_tx):
+        radios["a"].transmit(Frame("a", "r", 60), lambda tx: None)
+
+    radios["a"].transmit(first, send_second)
+    sim.run(1.0)
+    assert len(outcomes) == 2
+    assert all(o.crc_ok for o in outcomes)
+
+
+def test_noise_only_reception_is_clean():
+    sim, radios = build(
+        {("a", "r"): 50.0},
+        {"a": 2460.0, "r": 2460.0},
+    )
+    outcomes = []
+    radios["r"].add_frame_listener(outcomes.append)
+    radios["a"].transmit(Frame("a", "r", 113), lambda tx: None)  # max payload
+    sim.run(1.0)
+    assert outcomes[0].crc_ok
+    assert outcomes[0].errored_bits == 0
+    assert outcomes[0].total_bits == pytest.approx(
+        outcomes[0].frame.total_bits, abs=8
+    )
+
+
+def test_weak_signal_near_sensitivity_sees_noise_errors():
+    """At -93 dBm (SNR 7 dB) long frames occasionally take bit errors."""
+    failures = 0
+    for seed in range(10):
+        sim, radios = build(
+            {("a", "r"): 93.0},
+            {"a": 2460.0, "r": 2460.0},
+            seed=seed,
+        )
+        outcomes = []
+        radios["r"].add_frame_listener(outcomes.append)
+        radios["a"].transmit(Frame("a", "r", 113), lambda tx: None)
+        sim.run(1.0)
+        assert len(outcomes) == 1
+        if not outcomes[0].crc_ok:
+            failures += 1
+    # BER(7 dB) * ~1000 bits -> a small but non-trivial failure rate;
+    # mostly we just require the run not to be degenerate either way.
+    assert failures < 10

@@ -1,0 +1,101 @@
+"""Tests for the time-averaged RSSI register (8-symbol window)."""
+
+import pytest
+
+from repro.phy.constants import RSSI_AVG_WINDOW_S
+from repro.phy.fading import NoFading
+from repro.phy.frame import Frame
+from repro.phy.medium import Medium
+from repro.phy.propagation import FixedRssMatrix
+from repro.phy.radio import Radio, RadioConfig
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+from repro.sim.units import dbm_to_mw, mw_to_dbm
+
+
+def build(averaging=False):
+    sim = Simulator()
+    rng = RngStreams(8)
+    matrix = FixedRssMatrix(default_loss_db=200.0)
+    matrix.set_loss((0, 0), (1, 0), 50.0)
+    medium = Medium(sim, matrix, fading=NoFading(), rng=rng)
+    tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0, rng=rng)
+    rx = Radio(
+        sim, medium, "rx", (1, 0), 2460.0, 0.0, rng=rng,
+        config=RadioConfig(cca_averaging=averaging),
+    )
+    return sim, tx, rx
+
+
+def test_quiet_channel_reads_noise_floor():
+    sim, _, rx = build()
+    sim.run(0.01)
+    assert rx.rssi_register_dbm() == pytest.approx(-100.0, abs=0.2)
+
+
+def test_register_matches_instantaneous_after_long_signal():
+    sim, tx, rx = build()
+    measured = {}
+
+    def probe():
+        measured["avg"] = rx.rssi_register_dbm()
+        measured["inst"] = rx.sense_power_dbm()
+
+    tx.transmit(Frame("tx", None, 100), lambda t: None)
+    sim.schedule(0.002, probe)  # >> 128 us into the frame
+    sim.run(1.0)
+    assert measured["avg"] == pytest.approx(measured["inst"], abs=0.1)
+    assert measured["avg"] == pytest.approx(-50.0, abs=0.2)
+
+
+def test_register_lags_a_fresh_signal():
+    """Half a window into a new signal the register reads ~3 dB low."""
+    sim, tx, rx = build()
+    measured = {}
+
+    def probe():
+        measured["avg"] = rx.rssi_register_dbm()
+
+    tx.transmit(Frame("tx", None, 100), lambda t: None)
+    sim.schedule(RSSI_AVG_WINDOW_S / 2.0, probe)
+    sim.run(1.0)
+    expected = mw_to_dbm(
+        0.5 * dbm_to_mw(-50.0) + 0.5 * dbm_to_mw(-100.0)
+    )
+    assert measured["avg"] == pytest.approx(expected, abs=0.3)
+
+
+def test_register_decays_after_signal_ends():
+    sim, tx, rx = build()
+    frame = Frame("tx", None, 60)
+    measured = {}
+
+    def probe():
+        measured["avg"] = rx.rssi_register_dbm()
+        measured["inst"] = rx.sense_power_dbm()
+
+    tx.transmit(frame, lambda t: None)
+    # Probe a quarter-window after the frame ends: the register still
+    # carries 3/4 of the signal's power, instantaneous reads noise.
+    sim.schedule(frame.airtime_s + RSSI_AVG_WINDOW_S / 4.0, probe)
+    sim.run(1.0)
+    assert measured["inst"] == pytest.approx(-100.0, abs=0.2)
+    expected = mw_to_dbm(
+        0.75 * dbm_to_mw(-50.0) + 0.25 * dbm_to_mw(-100.0)
+    )
+    assert measured["avg"] == pytest.approx(expected, abs=0.5)
+
+
+def test_cca_averaging_config_switches_comparison():
+    sim, tx, rx = build(averaging=True)
+    frame = Frame("tx", None, 60)
+    outcomes = {}
+
+    def probe():
+        # Just after frame end: instantaneous is idle, average still busy.
+        outcomes["busy_avg"] = rx.cca_busy(-77.0)
+
+    tx.transmit(frame, lambda t: None)
+    sim.schedule(frame.airtime_s + 1e-6, probe)
+    sim.run(1.0)
+    assert outcomes["busy_avg"] is True

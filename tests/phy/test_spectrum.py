@@ -1,0 +1,93 @@
+"""Unit tests for bands and channel plans."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.spectrum import EVALUATION_BAND, MOTIVATION_BAND, Band, ChannelPlan
+
+
+def test_band_validation():
+    with pytest.raises(ValueError):
+        Band(2460.0, 2460.0)
+    with pytest.raises(ValueError):
+        Band(2470.0, 2460.0)
+
+
+def test_band_width_and_contains():
+    band = Band(2458.0, 2473.0)
+    assert band.width_mhz == 15.0
+    assert band.contains(2458.0)
+    assert band.contains(2473.0)
+    assert not band.contains(2474.0)
+
+
+def test_slot_counts_match_paper_fig1():
+    """Fig. 1 on a 12 MHz band: 9 MHz -> 1, 5 -> 2, 4 -> 3, 3 -> 4, 2 -> 6."""
+    expected = {9.0: 1, 5.0: 2, 4.0: 3, 3.0: 4, 2.0: 6}
+    for cfd, count in expected.items():
+        assert ChannelPlan.slot(MOTIVATION_BAND, cfd).num_channels == count
+
+
+def test_inclusive_counts_match_paper_section6():
+    """2458-2473 MHz: 6 channels at 3 MHz, 4 at 5 MHz."""
+    assert ChannelPlan.inclusive(EVALUATION_BAND, 3.0).num_channels == 6
+    assert ChannelPlan.inclusive(EVALUATION_BAND, 5.0).num_channels == 4
+
+
+def test_median_first_ordering():
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, 3.0)
+    centers = list(plan.centers_mhz)
+    sorted_centers = sorted(centers)
+    mid = (sorted_centers[0] + sorted_centers[-1]) / 2
+    # N0 is the centre-most channel; subsequent entries never get closer.
+    distances = [abs(c - mid) for c in centers]
+    assert distances == sorted(distances)
+
+
+def test_centers_stay_inside_band():
+    for cfd in (2.0, 3.0, 4.0, 5.0):
+        plan = ChannelPlan.inclusive(EVALUATION_BAND, cfd)
+        for center in plan.centers_mhz:
+            assert EVALUATION_BAND.contains(center)
+
+
+def test_neighbour_distance():
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, 3.0)
+    for center in plan.centers_mhz:
+        assert plan.neighbour_distance_mhz(center) == pytest.approx(3.0)
+
+
+def test_single_channel_neighbour_distance_infinite():
+    plan = ChannelPlan.slot(MOTIVATION_BAND, 9.0)
+    assert plan.neighbour_distance_mhz(plan.centers_mhz[0]) == float("inf")
+
+
+def test_explicit_plan_keeps_order():
+    plan = ChannelPlan.explicit([2465.0, 2462.0, 2468.0], cfd_mhz=3.0)
+    assert plan.centers_mhz == (2465.0, 2462.0, 2468.0)
+    assert plan.label(0) == "N0"
+
+
+def test_explicit_empty_rejected():
+    with pytest.raises(ValueError):
+        ChannelPlan.explicit([])
+
+
+def test_bad_cfd_rejected():
+    with pytest.raises(ValueError):
+        ChannelPlan.slot(MOTIVATION_BAND, 0.0)
+    with pytest.raises(ValueError):
+        ChannelPlan.inclusive(MOTIVATION_BAND, -1.0)
+
+
+def test_slot_too_wide_rejected():
+    with pytest.raises(ValueError):
+        ChannelPlan.slot(Band(2458.0, 2460.0), 5.0)
+
+
+@given(st.sampled_from([2.0, 2.5, 3.0, 4.0, 5.0]))
+def test_slot_channels_fit_band(cfd):
+    plan = ChannelPlan.slot(MOTIVATION_BAND, cfd)
+    assert plan.num_channels == int(MOTIVATION_BAND.width_mhz // cfd)
+    for center in plan.centers_mhz:
+        assert MOTIVATION_BAND.contains(center)

@@ -1,0 +1,112 @@
+"""Unit tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, lambda: fired.append("b"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(3.0, lambda: fired.append("c"))
+    while queue:
+        queue.pop().callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_orders_by_priority_then_fifo():
+    queue = EventQueue()
+    fired = []
+    queue.push(1.0, lambda: fired.append("low-prio-second"), priority=1)
+    queue.push(1.0, lambda: fired.append("first"), priority=0)
+    queue.push(1.0, lambda: fired.append("second"), priority=0)
+    while queue:
+        queue.pop().callback()
+    assert fired == ["first", "second", "low-prio-second"]
+
+
+def test_cancel_skips_event():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    queue.cancel(drop)
+    assert len(queue) == 1
+    while queue:
+        queue.pop().callback()
+    assert fired == ["keep"]
+    assert keep.time == 1.0
+
+
+def test_double_cancel_is_noop():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(first)
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert not queue
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+def test_pop_sequence_is_sorted(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, lambda: None)
+    popped = []
+    while queue:
+        popped.append(queue.pop().time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0), st.booleans()),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_cancellation_never_loses_live_events(entries):
+    queue = EventQueue()
+    live = 0
+    for t, cancel in entries:
+        event = queue.push(t, lambda: None)
+        if cancel:
+            queue.cancel(event)
+        else:
+            live += 1
+    assert len(queue) == live
+    popped = 0
+    while queue:
+        queue.pop()
+        popped += 1
+    assert popped == live

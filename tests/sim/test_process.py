@@ -1,0 +1,104 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.process import Process, ProcessError, Sleep
+from repro.sim.simulator import Simulator
+
+
+def test_process_runs_steps_at_yielded_delays():
+    sim = Simulator()
+    ticks = []
+
+    def body():
+        while True:
+            ticks.append(sim.now)
+            yield 0.5
+
+    Process(sim, body(), name="ticker").start()
+    sim.run(2.2)
+    assert ticks == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0])
+
+
+def test_sleep_object_supported():
+    sim = Simulator()
+    ticks = []
+
+    def body():
+        yield Sleep(1.0)
+        ticks.append(sim.now)
+
+    Process(sim, body()).start()
+    sim.run(2.0)
+    assert ticks == [1.0]
+
+
+def test_process_finishes_when_generator_returns():
+    sim = Simulator()
+
+    def body():
+        yield 0.1
+        yield 0.1
+
+    process = Process(sim, body()).start()
+    sim.run(1.0)
+    assert not process.alive
+
+
+def test_stop_cancels_future_steps():
+    sim = Simulator()
+    ticks = []
+
+    def body():
+        while True:
+            ticks.append(sim.now)
+            yield 0.5
+
+    process = Process(sim, body()).start()
+    sim.schedule(0.7, process.stop)
+    sim.run(3.0)
+    assert ticks == [0.0, 0.5]
+    assert not process.alive
+
+
+def test_start_delay():
+    sim = Simulator()
+    ticks = []
+
+    def body():
+        ticks.append(sim.now)
+        yield 1.0
+
+    Process(sim, body()).start(delay=0.25)
+    sim.run(0.5)
+    assert ticks == [0.25]
+
+
+def test_double_start_rejected():
+    sim = Simulator()
+    process = Process(sim, iter(()))
+    process.start()
+    with pytest.raises(ProcessError):
+        process.start()
+
+
+def test_bad_yield_value_raises():
+    sim = Simulator()
+
+    def body():
+        yield "not a delay"
+
+    Process(sim, body()).start()
+    with pytest.raises(ProcessError):
+        sim.run(1.0)
+
+
+def test_negative_sleep_raises():
+    sim = Simulator()
+
+    def body():
+        yield -0.5
+
+    Process(sim, body()).start()
+    with pytest.raises(ProcessError):
+        sim.run(1.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the Simulator kernel."""
+
+import pytest
+
+from repro.sim.simulator import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_run_advances_clock_to_until():
+    sim = Simulator()
+    sim.run(5.0)
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_order_and_see_correct_now():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append(sim.now))
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    sim.run(3.0)
+    assert seen == [1.0, 2.0]
+
+
+def test_events_beyond_until_do_not_fire():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append("late"))
+    sim.run(5.0)
+    assert fired == []
+    assert sim.pending_events == 1
+    sim.run(15.0)
+    assert fired == ["late"]
+
+
+def test_events_scheduled_during_run_fire_same_run():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 0.5:
+            sim.schedule(0.1, chain)
+
+    sim.schedule(0.1, chain)
+    sim.run(1.0)
+    # Self-rescheduling chain: fires every 0.1 s until now >= 0.5 (float
+    # accumulation makes the exact count 5-7).
+    assert 5 <= len(fired) <= 7
+    assert fired[0] == pytest.approx(0.1)
+    assert fired == sorted(fired)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.run(5.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(4.0, lambda: None)
+
+
+def test_run_into_past_rejected():
+    sim = Simulator()
+    sim.run(5.0)
+    with pytest.raises(SimulationError):
+        sim.run(1.0)
+
+
+def test_cancel_pending_event():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.cancel(event)
+    sim.run(2.0)
+    assert fired == []
+
+
+def test_run_until_idle_drains_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run_until_idle()
+    assert fired == [1, 2]
+    assert sim.now == 2.0
+
+
+def test_run_until_idle_respects_max_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(2))
+    sim.run_until_idle(max_time=5.0)
+    assert fired == [1]
+    assert sim.pending_events == 1
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run(10.0)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run(2.0)
+    assert len(errors) == 1

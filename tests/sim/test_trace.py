@@ -1,0 +1,60 @@
+"""Unit tests for trace recording."""
+
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Trace
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.emit("tx", node="a")
+    assert trace.count("tx") == 0
+    assert trace.records == []
+
+
+def test_emit_records_fields_and_counts():
+    trace = Trace()
+    trace.emit("tx", node="a")
+    trace.emit("tx", node="b")
+    trace.emit("rx", node="a")
+    assert trace.count("tx") == 2
+    assert trace.count("rx") == 1
+    assert [r.fields["node"] for r in trace.of_kind("tx")] == ["a", "b"]
+
+
+def test_counters_without_records():
+    trace = Trace(keep_records=False)
+    trace.emit("tx")
+    assert trace.count("tx") == 1
+    assert trace.records == []
+
+
+def test_clock_binding():
+    sim = Simulator()
+    trace = Trace()
+    trace.bind_clock(lambda: sim.now)
+    sim.schedule(1.5, lambda: trace.emit("tick"))
+    sim.run(2.0)
+    assert trace.last("tick").time == 1.5
+
+
+def test_last_returns_most_recent():
+    trace = Trace()
+    trace.emit("x", v=1)
+    trace.emit("x", v=2)
+    assert trace.last("x").fields["v"] == 2
+    assert trace.last("missing") is None
+
+
+def test_clear_resets_everything():
+    trace = Trace()
+    trace.emit("x")
+    trace.clear()
+    assert trace.count("x") == 0
+    assert trace.records == []
+
+
+def test_record_str_renders():
+    trace = Trace()
+    trace.emit("tx", node="a", power=0)
+    text = str(trace.records[0])
+    assert "tx" in text and "node=a" in text

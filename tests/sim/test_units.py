@@ -1,0 +1,76 @@
+"""Unit tests and properties for power-unit conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.units import (
+    ZERO_POWER_DBM,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mw_to_dbm,
+    sum_powers_dbm,
+)
+
+
+def test_known_conversions():
+    assert dbm_to_mw(0.0) == pytest.approx(1.0)
+    assert dbm_to_mw(10.0) == pytest.approx(10.0)
+    assert dbm_to_mw(-30.0) == pytest.approx(0.001)
+    assert mw_to_dbm(1.0) == pytest.approx(0.0)
+    assert mw_to_dbm(100.0) == pytest.approx(20.0)
+
+
+def test_zero_power_maps_to_floor():
+    assert mw_to_dbm(0.0) == ZERO_POWER_DBM
+    assert mw_to_dbm(-1e-9) == ZERO_POWER_DBM
+
+
+def test_linear_to_db_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        linear_to_db(0.0)
+    with pytest.raises(ValueError):
+        linear_to_db(-1.0)
+
+
+def test_db_linear_identities():
+    assert db_to_linear(3.0) == pytest.approx(1.9953, rel=1e-3)
+    assert linear_to_db(2.0) == pytest.approx(3.0103, rel=1e-3)
+
+
+def test_sum_powers_doubling_adds_3db():
+    total = sum_powers_dbm([-50.0, -50.0])
+    assert total == pytest.approx(-50.0 + 10 * math.log10(2), abs=1e-9)
+
+
+def test_sum_powers_dominated_by_strongest():
+    total = sum_powers_dbm([-40.0, -90.0])
+    assert total == pytest.approx(-40.0, abs=0.01)
+
+
+def test_sum_powers_empty_is_floor():
+    assert sum_powers_dbm([]) == ZERO_POWER_DBM
+
+
+@given(st.floats(min_value=-150.0, max_value=50.0))
+def test_roundtrip_dbm(dbm):
+    assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=-120.0, max_value=10.0), min_size=1, max_size=10)
+)
+def test_sum_at_least_max(levels):
+    total = sum_powers_dbm(levels)
+    assert total >= max(levels) - 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=-120.0, max_value=10.0), min_size=1, max_size=10)
+)
+def test_sum_bounded_by_max_plus_10log_n(levels):
+    total = sum_powers_dbm(levels)
+    bound = max(levels) + 10 * math.log10(len(levels))
+    assert total <= bound + 1e-9

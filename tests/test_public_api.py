@@ -1,0 +1,61 @@
+"""Public-API surface tests: every documented export must resolve."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_top_level_exposes_all_subpackages():
+    for name in ("sim", "phy", "mac", "core", "net", "dot11", "experiments"):
+        assert hasattr(repro, name)
+    assert repro.__version__
+
+
+PACKAGES = [
+    "repro.sim",
+    "repro.phy",
+    "repro.mac",
+    "repro.core",
+    "repro.net",
+    "repro.dot11",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert module.__all__, f"{package} exports nothing"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+#: Type aliases re-exported for annotation convenience — no docstring of
+#: their own (typing constructs).
+TYPE_ALIASES = {"Position", "PolicyFactory", "PowerAssignment"}
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_are_documented(package):
+    """Every exported class/function carries a docstring."""
+    module = importlib.import_module(package)
+    for name in module.__all__:
+        if name in TYPE_ALIASES:
+            continue
+        obj = getattr(module, name)
+        if callable(obj) or isinstance(obj, type):
+            assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+def test_key_user_journey_imports():
+    """The imports README shows must work exactly as written."""
+    from repro.experiments.runner import run_deployment  # noqa: F401
+    from repro.experiments.scenarios import (  # noqa: F401
+        dcn_policy_factory,
+        evaluation_plan,
+        evaluation_testbed,
+    )
+    from repro.experiments.registry import get  # noqa: F401
+    from repro.core import DcnCcaPolicy  # noqa: F401
