@@ -1,0 +1,59 @@
+"""Micro-bench: sequential vs parallel vs warm-cache campaign execution.
+
+Benchmarks the three regimes of report generation over a small exhibit
+subset (the full registry takes minutes; the engine overheads being
+measured are identical):
+
+- **sequential** — ``jobs=1``, no cache (the historical behaviour);
+- **parallel** — ``jobs=4`` process-pool execution, no cache;
+- **warm cache** — every job served from ``.repro-cache`` entries.
+
+Run with ``pytest benchmarks/bench_campaign.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignSpec, ResultCache, run_campaign
+
+#: Small but non-trivial workload: 2 exhibits x 2 seeds.
+IDS = ["fig04", "fig29"]
+SEEDS = [1, 2]
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec.make(ids=IDS, seeds=SEEDS, fast=True)
+
+
+def _attach(benchmark, result) -> None:
+    benchmark.extra_info["jobs_ok"] = result.stats.completed
+    benchmark.extra_info["cache_hits"] = result.stats.cache_hits
+    benchmark.extra_info["cache_misses"] = result.stats.cache_misses
+    assert result.ok, f"campaign failed: {[str(f.spec) for f in result.failures()]}"
+
+
+def test_campaign_sequential(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_campaign(_spec(), jobs=1, cache=False),
+        rounds=1, iterations=1,
+    )
+    _attach(benchmark, result)
+
+
+def test_campaign_parallel(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_campaign(_spec(), jobs=4, cache=False),
+        rounds=1, iterations=1,
+    )
+    _attach(benchmark, result)
+
+
+def test_campaign_warm_cache(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_campaign(_spec(), jobs=4, cache=cache)  # populate
+    assert cold.ok
+    result = benchmark.pedantic(
+        lambda: run_campaign(_spec(), jobs=1, cache=cache),
+        rounds=1, iterations=1,
+    )
+    _attach(benchmark, result)
+    assert result.stats.cache_hits == len(IDS) * len(SEEDS)

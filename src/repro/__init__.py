@@ -10,16 +10,21 @@ The package implements, from scratch:
 - the paper's contribution — **DCN**, the dynamic CCA-threshold scheme for
   non-orthogonal transmission (:mod:`repro.core`),
 - network/node/topology/deployment layers (:mod:`repro.net`),
-- a simplified 802.11b contrast substrate (:mod:`repro.dot11`), and
+- a simplified 802.11b contrast substrate (:mod:`repro.dot11`),
 - an experiment harness reproducing every table and figure of the paper's
-  evaluation (:mod:`repro.experiments`).
+  evaluation (:mod:`repro.experiments`), and
+- a parallel experiment-campaign engine with result caching, retries and
+  per-seed aggregation (:mod:`repro.campaign`).
 """
 
 from . import core, dot11, experiments, mac, net, phy, sim
 
 __version__ = "0.1.0"
 
+from . import campaign  # noqa: E402  (the cache keys on __version__)
+
 __all__ = [
+    "campaign",
     "core",
     "dot11",
     "experiments",

@@ -4,7 +4,12 @@
 
     python -m repro list                       # all reproducible exhibits
     python -m repro run fig19 --fast --seed 2  # run one exhibit
-    python -m repro report [--fast]            # regenerate EXPERIMENTS.md
+    python -m repro report [--fast] [--seeds 1,2 --jobs 4]
+                                               # regenerate EXPERIMENTS.md
+    python -m repro campaign run --fast --seeds 1,2,3 --jobs 4
+                                               # batch-run exhibits x seeds
+    python -m repro campaign status            # result-cache inventory
+    python -m repro campaign clean             # drop the result cache
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import sys
 
 from .experiments import report as report_module
 from .experiments.registry import REGISTRY, get
+from .experiments.report import parse_seeds
 
 
 def _cmd_list(_args) -> int:
@@ -61,7 +67,68 @@ def _cmd_report(args) -> int:
     if args.fast:
         argv.append("--fast")
     argv.extend(["--seed", str(args.seed), "--out", args.out])
+    if args.seeds:
+        argv.extend(["--seeds", ",".join(str(s) for s in args.seeds)])
+    argv.extend(["--jobs", str(args.jobs)])
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.cache_dir:
+        argv.extend(["--cache-dir", args.cache_dir])
     return report_module.main(argv)
+
+
+def _campaign_cache(args):
+    from .campaign import DEFAULT_CACHE_DIR, ResultCache
+
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _cmd_campaign_run(args) -> int:
+    from .campaign import ProgressPrinter, expand_jobs, run_campaign
+
+    try:
+        specs = expand_jobs(args.ids or None, args.seeds, args.fast,
+                            list(REGISTRY))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    result = run_campaign(
+        specs,
+        jobs=args.jobs,
+        cache=False if args.no_cache else _campaign_cache(args),
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=ProgressPrinter(enabled=not args.quiet),
+    )
+    if args.aggregate:
+        for eid, table in result.aggregated().items():
+            print(table.to_text("{:.4g}"))
+            print()
+    print(f"campaign: {result.stats.summary_line()}")
+    for failure in result.failures():
+        print(f"FAILED {failure.spec} after {failure.attempts} attempts:\n"
+              f"{failure.error}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def _cmd_campaign_status(args) -> int:
+    status = _campaign_cache(args).status()
+    print(f"cache root        : {status['root']}")
+    print(f"repro version     : {status['version']}")
+    print(f"entries           : {status['entries']} "
+          f"({status['current_version_entries']} at current version)")
+    print(f"size              : {status['bytes'] / 1024:.1f} KiB")
+    if status["by_exhibit"]:
+        width = max(len(eid) for eid in status["by_exhibit"])
+        for eid, count in status["by_exhibit"].items():
+            print(f"  {eid:<{width}}  {count} seed(s)")
+    return 0
+
+
+def _cmd_campaign_clean(args) -> int:
+    removed = _campaign_cache(args).clear()
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -88,9 +155,53 @@ def main(argv=None) -> int:
 
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("--seed", type=int, default=1)
+    report_parser.add_argument("--seeds", type=parse_seeds, default=None,
+                               help="multi-seed report: comma list (1,2,3) "
+                                    "or range (1-5); tables become "
+                                    "mean ± 95%% CI")
+    report_parser.add_argument("--jobs", type=int, default=1,
+                               help="parallel worker processes")
     report_parser.add_argument("--fast", action="store_true")
+    report_parser.add_argument("--no-cache", action="store_true",
+                               help="bypass the result cache")
+    report_parser.add_argument("--cache-dir", default=None)
     report_parser.add_argument("--out", default="EXPERIMENTS.md")
     report_parser.set_defaults(func=_cmd_report)
+
+    campaign_parser = sub.add_parser(
+        "campaign", help="batch-run exhibits x seeds (parallel, cached)"
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    c_run = campaign_sub.add_parser("run", help="run a campaign")
+    c_run.add_argument("--ids", nargs="*", default=None,
+                       help="exhibit ids (default: all registered)")
+    c_run.add_argument("--seeds", type=parse_seeds, default=[1],
+                       help="comma list (1,2,3) or range (1-5); default 1")
+    c_run.add_argument("--jobs", type=int, default=1,
+                       help="parallel worker processes")
+    c_run.add_argument("--fast", action="store_true")
+    c_run.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+    c_run.add_argument("--retries", type=int, default=2,
+                       help="retry attempts per failed job (default 2)")
+    c_run.add_argument("--no-cache", action="store_true")
+    c_run.add_argument("--cache-dir", default=None)
+    c_run.add_argument("--aggregate", action="store_true",
+                       help="print per-exhibit mean ± CI tables")
+    c_run.add_argument("--quiet", action="store_true",
+                       help="suppress the live progress line")
+    c_run.set_defaults(func=_cmd_campaign_run)
+
+    c_status = campaign_sub.add_parser("status", help="result-cache inventory")
+    c_status.add_argument("--cache-dir", default=None)
+    c_status.set_defaults(func=_cmd_campaign_status)
+
+    c_clean = campaign_sub.add_parser("clean", help="drop the result cache")
+    c_clean.add_argument("--cache-dir", default=None)
+    c_clean.set_defaults(func=_cmd_campaign_clean)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,61 @@
+"""repro.campaign — parallel experiment-campaign engine.
+
+Turns the exhibit registry (:mod:`repro.experiments.registry`) into a
+batch-execution engine:
+
+- :mod:`repro.campaign.jobs` — the job model: ``(exhibit_id, seed,
+  fast, params)`` specs expanded from declarative campaign definitions;
+- :mod:`repro.campaign.executor` — a multiprocess executor with per-job
+  timeouts, bounded retry with backoff and graceful failure recording;
+- :mod:`repro.campaign.cache` — a content-addressed on-disk result
+  cache (``.repro-cache/``) keyed by exhibit id + seed + profile +
+  params + ``repro.__version__``;
+- :mod:`repro.campaign.aggregate` — per-seed table merging into
+  mean ± 95 % CI columns;
+- :mod:`repro.campaign.progress` — cache hit/miss and timing counters
+  plus a live one-line progress printer.
+
+Quickstart::
+
+    >>> from repro.campaign import CampaignSpec, run_campaign
+    >>> spec = CampaignSpec.make(ids=["fig04"], seeds=[1, 2], fast=True)
+    >>> result = run_campaign(spec, jobs=2)
+    >>> result.ok, sorted(result.aggregated())
+    (True, ['fig04'])
+
+Command line::
+
+    python -m repro campaign run --fast --seeds 1,2 --jobs 4
+    python -m repro campaign status
+    python -m repro campaign clean
+"""
+
+from .aggregate import aggregate_campaign, aggregate_seeds
+from .cache import DEFAULT_CACHE_DIR, CacheEntry, ResultCache
+from .executor import (
+    CampaignResult,
+    JobOutcome,
+    JobTimeout,
+    run_campaign,
+    run_registry_job,
+)
+from .jobs import CampaignSpec, JobSpec, expand_jobs
+from .progress import CampaignStats, ProgressPrinter
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "expand_jobs",
+    "ResultCache",
+    "CacheEntry",
+    "DEFAULT_CACHE_DIR",
+    "run_campaign",
+    "run_registry_job",
+    "CampaignResult",
+    "JobOutcome",
+    "JobTimeout",
+    "aggregate_seeds",
+    "aggregate_campaign",
+    "CampaignStats",
+    "ProgressPrinter",
+]

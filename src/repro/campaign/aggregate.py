@@ -1,0 +1,98 @@
+"""Merge per-seed result tables into mean ± 95 % CI tables.
+
+A campaign runs every exhibit across N seeds; this module folds the N
+tables of one exhibit back into a single :class:`ResultTable` whose
+numeric cells are per-row means with a ``<col>_ci95`` companion column
+(normal 95 % confidence half-width, via
+:func:`repro.experiments.stats.summarize`).  Non-numeric cells (labels,
+channel names) must agree across seeds and are passed through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TYPE_CHECKING
+
+from ..experiments.results import ResultTable
+from ..experiments.stats import summarize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import CampaignResult
+
+__all__ = ["aggregate_seeds", "aggregate_campaign"]
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_seeds(
+    tables: Sequence[ResultTable], title: str | None = None
+) -> ResultTable:
+    """Fold per-seed tables of one exhibit into a mean ± CI table.
+
+    All tables must have the same shape (row count and, per row, the
+    same non-numeric cells) — they come from the same exhibit code at
+    different seeds, so anything else is a bug worth surfacing.
+
+    With a single input table the values pass through unchanged and no
+    CI columns are added, so ``--seeds 7`` degrades to exactly the
+    single-seed table.
+    """
+    if not tables:
+        raise ValueError("aggregate_seeds needs at least one table")
+    first = tables[0]
+    for other in tables[1:]:
+        if len(other.rows) != len(first.rows):
+            raise ValueError(
+                f"cannot aggregate {first.title!r}: row counts differ "
+                f"({len(first.rows)} vs {len(other.rows)})"
+            )
+
+    merged = ResultTable(title if title is not None else first.title)
+    if len(tables) == 1:
+        merged.rows = [dict(row) for row in first.rows]
+        merged.notes = list(first.notes)
+        return merged
+
+    for index, base_row in enumerate(first.rows):
+        out_row: Dict[str, object] = {}
+        for col in base_row:
+            values = [t.rows[index].get(col) for t in tables]
+            if all(_is_numeric(v) for v in values):
+                if all(v == values[0] for v in values[1:]):
+                    # Identical across seeds (swept parameter / x-axis
+                    # column): pass through untouched, no CI companion.
+                    out_row[col] = values[0]
+                else:
+                    summary = summarize(values)
+                    out_row[col] = summary.mean
+                    out_row[f"{col}_ci95"] = summary.ci95
+            else:
+                distinct = {repr(v) for v in values}
+                if len(distinct) != 1:
+                    raise ValueError(
+                        f"cannot aggregate {first.title!r}: column {col!r} "
+                        f"row {index} mixes values {sorted(distinct)}"
+                    )
+                out_row[col] = base_row[col]
+        merged.rows.append(out_row)
+
+    # Notes common to every seed stay; seed-specific ones are dropped.
+    common = [n for n in first.notes if all(n in t.notes for t in tables[1:])]
+    merged.notes = common
+    merged.add_note(f"mean ± 95% CI over {len(tables)} seeds")
+    return merged
+
+
+def aggregate_campaign(result: "CampaignResult") -> Dict[str, ResultTable]:
+    """Per-exhibit aggregated tables from a campaign's successful jobs.
+
+    Exhibits whose every seed failed are omitted (their failures are
+    still recorded on the :class:`CampaignResult`).
+    """
+    aggregated: Dict[str, ResultTable] = {}
+    for exhibit_id in result.exhibit_ids():
+        tables: List[ResultTable] = result.tables_for(exhibit_id)
+        if tables:
+            aggregated[exhibit_id] = aggregate_seeds(tables)
+    return aggregated

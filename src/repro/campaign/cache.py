@@ -1,0 +1,168 @@
+"""Content-addressed on-disk result cache for campaign jobs.
+
+Every completed job stores its JSON-serialised :class:`ResultTable`
+under ``.repro-cache/`` keyed by a SHA-256 of *everything that can change
+the result*: exhibit id, seed, profile, extra params and
+``repro.__version__`` (see :meth:`repro.campaign.jobs.JobSpec.cache_key`).
+Re-running a campaign — or regenerating EXPERIMENTS.md — therefore only
+pays for jobs whose inputs actually changed; bumping the package version
+invalidates every entry at once.
+
+Entries are single JSON files, written atomically (tmp file + rename) so
+concurrent campaign processes can share one cache directory.  A corrupt
+or unreadable entry is treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from ..experiments.results import ResultTable
+from .jobs import JobSpec
+
+__all__ = ["CacheEntry", "ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the invoking process's cwd.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_FORMAT = 1  # bump when the on-disk entry layout changes
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached job result."""
+
+    spec: JobSpec
+    table: ResultTable
+    elapsed_s: float
+    version: str
+    created_at: float
+
+
+class ResultCache:
+    """Content-addressed store of job results under one directory."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR,
+                 version: Optional[str] = None) -> None:
+        if version is None:
+            from .. import __version__ as version
+        self.root = Path(root)
+        self.version = version
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: JobSpec) -> Path:
+        """Entry file for a spec: human-readable prefix + content hash."""
+        digest = spec.cache_key(self.version)
+        return self.root / f"{spec.exhibit_id}-s{spec.seed}-{digest[:16]}.json"
+
+    def get(self, spec: JobSpec) -> Optional[CacheEntry]:
+        """Look up a spec; a corrupt/stale entry counts as a miss."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._evict(path)
+            return None
+        try:
+            if payload["format"] != _FORMAT:
+                raise ValueError(f"unknown cache format {payload['format']!r}")
+            if payload["key"] != spec.cache_key(self.version):
+                # hash-prefix collision or handcrafted file: never trust it
+                raise ValueError("cache key mismatch")
+            table = ResultTable.from_dict(payload["table"])
+            return CacheEntry(
+                spec=JobSpec.from_dict(payload["spec"]),
+                table=table,
+                elapsed_s=float(payload.get("elapsed_s", 0.0)),
+                version=str(payload.get("version", "")),
+                created_at=float(payload.get("created_at", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            self._evict(path)
+            return None
+
+    def put(self, spec: JobSpec, table: ResultTable, elapsed_s: float) -> Path:
+        """Atomically write one entry; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload: Dict[str, Any] = {
+            "format": _FORMAT,
+            "key": spec.cache_key(self.version),
+            "spec": spec.to_dict(),
+            "version": self.version,
+            "elapsed_s": float(elapsed_s),
+            "created_at": time.time(),
+            "table": table.to_dict(),
+        }
+        path = self.path_for(spec)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Path]:
+        """All entry files currently on disk (any version)."""
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(self.root.glob("*.json")))
+
+    def clear(self) -> int:
+        """Delete every entry (all versions); returns the count removed."""
+        removed = 0
+        for path in self.entries():
+            self._evict(path)
+            removed += 1
+        return removed
+
+    def status(self) -> Dict[str, Any]:
+        """Summary of the cache directory for ``repro campaign status``."""
+        total_bytes = 0
+        count = 0
+        current = 0
+        by_exhibit: Dict[str, int] = {}
+        for path in self.entries():
+            count += 1
+            try:
+                stat = path.stat()
+                total_bytes += stat.st_size
+                payload = json.loads(path.read_text())
+                exhibit = payload["spec"]["exhibit_id"]
+                by_exhibit[exhibit] = by_exhibit.get(exhibit, 0) + 1
+                if payload.get("version") == self.version:
+                    current += 1
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+        return {
+            "root": str(self.root),
+            "version": self.version,
+            "entries": count,
+            "current_version_entries": current,
+            "bytes": total_bytes,
+            "by_exhibit": dict(sorted(by_exhibit.items())),
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,339 @@
+"""Multiprocess campaign executor: timeouts, retries, graceful failure.
+
+The executor takes a list of :class:`JobSpec`\\ s and runs them either
+inline (``jobs=1`` — bit-for-bit the sequential behaviour) or on a
+:class:`concurrent.futures.ProcessPoolExecutor` (``jobs>1``).  Either
+way each job gets:
+
+- a **result cache** lookup first (unless disabled) — hits never touch
+  the pool;
+- a **per-job timeout** enforced *inside* the worker via ``SIGALRM`` so a
+  runaway simulation cannot wedge the campaign;
+- a **bounded retry** with exponential backoff — transient failures are
+  re-attempted ``retries`` times before being recorded;
+- **graceful degradation** — a job that exhausts its retries yields a
+  :class:`JobOutcome` carrying the error text; the campaign always runs
+  to completion and never raises because one exhibit misbehaved.
+
+Determinism: a job is always executed as
+``REGISTRY[exhibit_id].run(seed=..., fast=..., **params)`` in a process
+whose only input is the spec, so results at a fixed seed are identical
+regardless of ``jobs`` (verified by tests and the acceptance criteria).
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.results import ResultTable
+from .cache import ResultCache
+from .jobs import CampaignSpec, JobSpec
+from .progress import CampaignStats, ProgressPrinter
+
+__all__ = [
+    "JobOutcome",
+    "CampaignResult",
+    "run_campaign",
+    "run_registry_job",
+    "JobTimeout",
+]
+
+#: A runner maps a JobSpec to its ResultTable (the default consults the
+#: registry; tests inject flaky/recording runners).
+Runner = Callable[[JobSpec], ResultTable]
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock budget."""
+
+
+def run_registry_job(spec: JobSpec) -> ResultTable:
+    """Default runner: resolve the exhibit in the registry and run it."""
+    from ..experiments.registry import get
+
+    return get(spec.exhibit_id).run(**spec.run_kwargs())
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one job: a table, or a recorded failure."""
+
+    spec: JobSpec
+    table: Optional[ResultTable]
+    error: Optional[str]
+    attempts: int
+    elapsed_s: float
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.table is not None
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign run, indexed by ``(exhibit_id, seed)``."""
+
+    outcomes: Dict[Tuple[str, int], JobOutcome] = field(default_factory=dict)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes.values() if not o.ok]
+
+    def exhibit_ids(self) -> List[str]:
+        seen: List[str] = []
+        for eid, _seed in self.outcomes:
+            if eid not in seen:
+                seen.append(eid)
+        return seen
+
+    def tables_for(self, exhibit_id: str) -> List[ResultTable]:
+        """Successful per-seed tables of one exhibit, in seed order."""
+        pairs = sorted(
+            (seed, outcome)
+            for (eid, seed), outcome in self.outcomes.items()
+            if eid == exhibit_id and outcome.ok
+        )
+        return [outcome.table for _seed, outcome in pairs]
+
+    def outcome(self, exhibit_id: str, seed: int) -> JobOutcome:
+        return self.outcomes[(exhibit_id, seed)]
+
+    def aggregated(self) -> Dict[str, ResultTable]:
+        """Per-exhibit mean ± CI tables (see :mod:`repro.campaign.aggregate`)."""
+        from .aggregate import aggregate_campaign
+
+        return aggregate_campaign(self)
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (runs in the pool process for jobs > 1).
+
+
+def _alarm_handler(_signum, _frame):  # pragma: no cover - fires via signal
+    raise JobTimeout()
+
+
+def _execute_with_timeout(
+    runner: Runner, spec: JobSpec, timeout_s: Optional[float]
+) -> ResultTable:
+    """Run one job, enforcing the timeout with ``SIGALRM`` when available."""
+    use_alarm = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+    )
+    if not use_alarm:
+        return runner(spec)
+    previous = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        return runner(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker(payload: Dict[str, Any], runner: Optional[Runner]) -> Dict[str, Any]:
+    """Pool entry point: pure data in, pure data out (pickle-friendly)."""
+    spec = JobSpec.from_dict(payload["spec"])
+    timeout_s = payload.get("timeout_s")
+    start = time.perf_counter()
+    try:
+        table = _execute_with_timeout(runner or run_registry_job, spec, timeout_s)
+        return {
+            "ok": True,
+            "table": table.to_dict(),
+            "elapsed_s": time.perf_counter() - start,
+        }
+    except JobTimeout:
+        return {
+            "ok": False,
+            "error": f"timeout after {timeout_s:.1f}s",
+            "elapsed_s": time.perf_counter() - start,
+        }
+    except Exception:
+        return {
+            "ok": False,
+            "error": traceback.format_exc(limit=8),
+            "elapsed_s": time.perf_counter() - start,
+        }
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration.
+
+
+@dataclass
+class _Pending:
+    spec: JobSpec
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    not_before: float = 0.0
+    last_error: Optional[str] = None
+
+
+def _payload(pending: _Pending, timeout_s: Optional[float]) -> Dict[str, Any]:
+    return {"spec": pending.spec.to_dict(), "timeout_s": timeout_s}
+
+
+def run_campaign(
+    jobs_or_spec: Sequence[JobSpec] | CampaignSpec,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None | bool = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+    runner: Optional[Runner] = None,
+    progress: Optional[ProgressPrinter] = None,
+    stats: Optional[CampaignStats] = None,
+) -> CampaignResult:
+    """Run a batch of exhibit jobs and collect every outcome.
+
+    Parameters
+    ----------
+    jobs_or_spec:
+        Either an explicit list of :class:`JobSpec` or a
+        :class:`CampaignSpec` (expanded against the registry).
+    jobs:
+        Worker processes.  ``1`` executes inline in this process (no
+        pool), which is also the fallback when only one job remains.
+    cache:
+        ``None`` → use the default :class:`ResultCache`; ``False`` →
+        disable caching; any :class:`ResultCache` → use it.
+    timeout_s:
+        Per-job wall-clock budget; an expired job records a failure
+        (and is retried like any other failure).
+    retries:
+        Extra attempts after the first failure, with exponential
+        backoff ``backoff_s * 2**(attempt-1)``.
+    runner:
+        Override the job runner (must be picklable when ``jobs>1``);
+        defaults to registry execution.
+    """
+    if isinstance(jobs_or_spec, CampaignSpec):
+        from ..experiments.registry import all_ids
+
+        specs = jobs_or_spec.expand(all_ids())
+    else:
+        specs = list(jobs_or_spec)
+    seen: set = set()
+    for spec in specs:
+        if spec.key in seen:
+            raise ValueError(f"duplicate job {spec}")
+        seen.add(spec.key)
+
+    if cache is False:
+        cache_obj: Optional[ResultCache] = None
+    elif cache is None:
+        cache_obj = ResultCache()
+    else:
+        cache_obj = cache
+
+    result = CampaignResult(stats=stats or CampaignStats())
+    result.stats.total = len(specs)
+    jobs = max(1, int(jobs))
+    retries = max(0, int(retries))
+
+    def record(outcome: JobOutcome) -> None:
+        result.outcomes[outcome.spec.key] = outcome
+        result.stats.record(
+            outcome.spec.key,
+            outcome.elapsed_s,
+            ok=outcome.ok,
+            from_cache=outcome.from_cache,
+            retries=max(0, outcome.attempts - 1),
+        )
+        if progress is not None:
+            progress.update(
+                result.stats,
+                str(outcome.spec),
+                ok=outcome.ok,
+                from_cache=outcome.from_cache,
+                elapsed_s=outcome.elapsed_s,
+            )
+
+    # 1. cache pass -----------------------------------------------------
+    pending: List[_Pending] = []
+    for spec in specs:
+        entry = cache_obj.get(spec) if cache_obj is not None else None
+        if entry is not None:
+            record(JobOutcome(spec, entry.table, None, attempts=0,
+                              elapsed_s=entry.elapsed_s, from_cache=True))
+        else:
+            pending.append(_Pending(spec))
+
+    # 2. execution pass -------------------------------------------------
+    def settle(pend: _Pending, raw: Dict[str, Any]) -> None:
+        """Fold one attempt's raw worker dict into retry/record logic."""
+        pend.attempts += 1
+        pend.elapsed_s += raw["elapsed_s"]
+        if raw["ok"]:
+            table = ResultTable.from_dict(raw["table"])
+            if cache_obj is not None:
+                cache_obj.put(pend.spec, table, raw["elapsed_s"])
+            record(JobOutcome(pend.spec, table, None, pend.attempts,
+                              pend.elapsed_s))
+        elif pend.attempts > retries:
+            record(JobOutcome(pend.spec, None, raw["error"], pend.attempts,
+                              pend.elapsed_s))
+        else:
+            pend.last_error = raw["error"]
+            pend.not_before = (
+                time.monotonic() + backoff_s * (2 ** (pend.attempts - 1))
+            )
+            requeue.append(pend)
+
+    if jobs == 1 or len(pending) <= 1:
+        queue = list(pending)
+        requeue: List[_Pending] = []
+        while queue or requeue:
+            if not queue:
+                queue, requeue = requeue, []
+            pend = queue.pop(0)
+            delay = pend.not_before - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            settle(pend, _worker(_payload(pend, timeout_s), runner))
+    else:
+        requeue = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_worker, _payload(p, timeout_s), runner): p
+                for p in pending
+            }
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    pend = futures.pop(future)
+                    try:
+                        raw = future.result()
+                    except Exception:  # broken pool / unpicklable runner
+                        raw = {
+                            "ok": False,
+                            "error": traceback.format_exc(limit=4),
+                            "elapsed_s": 0.0,
+                        }
+                    settle(pend, raw)
+                # resubmit anything settle() queued for retry
+                while requeue:
+                    pend = requeue.pop()
+                    delay = max(0.0, pend.not_before - time.monotonic())
+                    if delay:
+                        time.sleep(delay)
+                    futures[pool.submit(
+                        _worker, _payload(pend, timeout_s), runner)] = pend
+
+    if progress is not None:
+        progress.finish(result.stats)
+    return result

@@ -1,0 +1,180 @@
+"""Job model for experiment campaigns.
+
+A *campaign* is a batch of exhibit runs — every registered exhibit (or a
+named subset) crossed with a list of seeds.  Each cell of that cross
+product is a :class:`JobSpec`: one `(exhibit_id, seed, fast, params)`
+tuple that is hashable, serialisable and content-addressable, so the
+executor can schedule it, the cache can key on it and a failure report
+can name it precisely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["JobSpec", "CampaignSpec", "expand_jobs"]
+
+
+def _freeze_params(params: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise a params mapping into a sorted, hashable tuple of pairs."""
+    if not params:
+        return ()
+    for key, value in params.items():
+        if not isinstance(key, str):
+            raise TypeError(f"param keys must be str, got {key!r}")
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            raise TypeError(
+                f"param {key!r} must be a JSON scalar, got {type(value).__name__}"
+            )
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable exhibit run: ``(exhibit_id, seed, fast, params)``.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so the
+    spec stays hashable and its JSON form is canonical.
+    """
+
+    exhibit_id: str
+    seed: int = 1
+    fast: bool = True
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        exhibit_id: str,
+        seed: int = 1,
+        fast: bool = True,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> "JobSpec":
+        return cls(exhibit_id, int(seed), bool(fast), _freeze_params(params))
+
+    # ------------------------------------------------------------------
+    @property
+    def profile(self) -> str:
+        return "fast" if self.fast else "paper"
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The (exhibit_id, seed) pair used to index campaign outcomes."""
+        return (self.exhibit_id, self.seed)
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def run_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments forwarded to the exhibit's ``run`` callable."""
+        kwargs: Dict[str, Any] = {"seed": self.seed, "fast": self.fast}
+        kwargs.update(self.param_dict())
+        return kwargs
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "exhibit_id": self.exhibit_id,
+            "seed": self.seed,
+            "fast": self.fast,
+            "params": self.param_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":
+        return cls.make(
+            payload["exhibit_id"],
+            seed=payload.get("seed", 1),
+            fast=payload.get("fast", True),
+            params=payload.get("params"),
+        )
+
+    def cache_key(self, version: str) -> str:
+        """Content-address of this job under a given ``repro`` version.
+
+        The key covers everything that can change the produced table:
+        exhibit id, seed, profile, extra params and the package version
+        (a new release invalidates every cached result).
+        """
+        canonical = json.dumps(
+            {
+                "exhibit_id": self.exhibit_id,
+                "seed": self.seed,
+                "profile": self.profile,
+                "params": self.param_dict(),
+                "version": version,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __str__(self) -> str:
+        extra = f" {self.param_dict()}" if self.params else ""
+        return f"{self.exhibit_id}@seed={self.seed}/{self.profile}{extra}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative campaign: exhibits × seeds under one profile.
+
+    ``ids=None`` means *every registered exhibit* (resolved lazily at
+    expansion time so the spec itself does not import the registry).
+    """
+
+    ids: Optional[Tuple[str, ...]] = None
+    seeds: Tuple[int, ...] = (1,)
+    fast: bool = True
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        ids: Optional[Sequence[str]] = None,
+        seeds: Sequence[int] = (1,),
+        fast: bool = True,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> "CampaignSpec":
+        if not seeds:
+            raise ValueError("a campaign needs at least one seed")
+        return cls(
+            tuple(ids) if ids is not None else None,
+            tuple(int(s) for s in seeds),
+            bool(fast),
+            _freeze_params(params),
+        )
+
+    def expand(self, known_ids: Sequence[str]) -> List[JobSpec]:
+        """Cross exhibits × seeds into concrete job specs.
+
+        ``known_ids`` is the registry's id list; explicit ``ids`` are
+        validated against it so a typo fails before any work is scheduled.
+        """
+        if self.ids is None:
+            selected: Sequence[str] = list(known_ids)
+        else:
+            unknown = [eid for eid in self.ids if eid not in known_ids]
+            if unknown:
+                raise KeyError(
+                    f"unknown exhibit ids {unknown!r}; known: {sorted(known_ids)}"
+                )
+            selected = list(self.ids)
+        return [
+            JobSpec(eid, seed, self.fast, self.params)
+            for eid in selected
+            for seed in self.seeds
+        ]
+
+
+def expand_jobs(
+    ids: Optional[Sequence[str]],
+    seeds: Sequence[int],
+    fast: bool,
+    known_ids: Sequence[str],
+    params: Optional[Mapping[str, Any]] = None,
+) -> List[JobSpec]:
+    """Convenience wrapper: build and expand a :class:`CampaignSpec`."""
+    return CampaignSpec.make(ids, seeds, fast, params).expand(known_ids)

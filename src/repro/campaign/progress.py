@@ -1,0 +1,99 @@
+"""Progress and observability hooks for campaign runs.
+
+The executor reports every job completion to a :class:`CampaignStats`
+(counters: completions, failures, cache hits/misses, retries, per-job
+timing) and optionally to a :class:`ProgressPrinter` that keeps a live
+one-line status on a terminal stream.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, Dict, Optional
+
+__all__ = ["CampaignStats", "ProgressPrinter"]
+
+
+@dataclass
+class CampaignStats:
+    """Mutable counters describing one campaign run."""
+
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    started_at: float = field(default_factory=time.time)
+    job_elapsed_s: Dict[tuple, float] = field(default_factory=dict)
+
+    @property
+    def done(self) -> int:
+        return self.completed + self.failed
+
+    def elapsed_s(self) -> float:
+        return time.time() - self.started_at
+
+    def record(self, key: tuple, elapsed_s: float, *, ok: bool,
+               from_cache: bool, retries: int = 0) -> None:
+        self.job_elapsed_s[key] = elapsed_s
+        self.retries += retries
+        if from_cache:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+
+    def summary_line(self) -> str:
+        bits = [
+            f"{self.completed}/{self.total} ok",
+            f"{self.failed} failed",
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss",
+        ]
+        if self.retries:
+            bits.append(f"{self.retries} retries")
+        bits.append(f"{self.elapsed_s():.1f}s")
+        return ", ".join(bits)
+
+
+class ProgressPrinter:
+    """Live one-line progress display (``\\r``-rewritten on a TTY).
+
+    Falls back to one line per job on non-TTY streams so logs stay
+    readable under CI.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None, enabled: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_width = 0
+
+    def update(self, stats: CampaignStats, label: str, *, ok: bool,
+               from_cache: bool, elapsed_s: float) -> None:
+        if not self.enabled:
+            return
+        mark = "ok " if ok else "FAIL"
+        origin = "cache" if from_cache else f"{elapsed_s:.1f}s"
+        line = (f"[{stats.done}/{stats.total}] {mark} {label} ({origin})  "
+                f"hits={stats.cache_hits} fails={stats.failed}")
+        if self._is_tty:
+            pad = max(0, self._last_width - len(line))
+            self.stream.write("\r" + line + " " * pad)
+            self._last_width = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def finish(self, stats: CampaignStats) -> None:
+        if not self.enabled:
+            return
+        if self._is_tty:
+            self.stream.write("\r" + " " * self._last_width + "\r")
+        self.stream.write(f"campaign: {stats.summary_line()}\n")
+        self.stream.flush()

@@ -2,19 +2,21 @@
 
 Usage::
 
-    python -m repro.experiments.report [--fast] [--seed N] [--out PATH]
+    python -m repro.experiments.report [--fast] [--seeds 1,2,3] [--jobs N]
 
-Runs every registered experiment (paper profile by default, which averages
-seeds and uses longer measurement windows) and renders a Markdown report
-pairing each exhibit's paper claim with the measured table.
+Runs every registered experiment through the campaign engine
+(:mod:`repro.campaign` — parallel workers, result cache, retries),
+aggregates multi-seed runs into mean ± 95 % CI tables, and renders a
+Markdown report pairing each exhibit's paper claim with the measured
+table.  A run-summary footer records per-exhibit wall time and cache
+status; re-generation is incremental thanks to the on-disk cache.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from .registry import REGISTRY
 from .results import ResultTable
@@ -98,7 +100,13 @@ PAPER_CLAIMS: Dict[str, str] = {
 
 
 def render_report(tables: Dict[str, ResultTable], elapsed_s: Dict[str, float],
-                  profile: str, seed: int) -> str:
+                  profile: str, seed: int,
+                  seeds: Optional[Sequence[int]] = None,
+                  cache_status: Optional[Dict[str, str]] = None) -> str:
+    if seeds is not None and len(seeds) > 1:
+        seed_note = f"seeds: {','.join(str(s) for s in seeds)}"
+    else:
+        seed_note = f"seed: {seeds[0] if seeds else seed}"
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -110,10 +118,12 @@ def render_report(tables: Dict[str, ResultTable], elapsed_s: Dict[str, float],
         "where the crossovers fall.",
         "",
         f"Generated with `python -m repro.experiments.report` "
-        f"(profile: {profile}, seed: {seed}).",
+        f"(profile: {profile}, {seed_note}).",
         "",
     ]
     for eid, experiment in REGISTRY.items():
+        if eid not in tables:
+            continue
         table = tables[eid]
         lines.append(f"## {experiment.paper_exhibit} — {experiment.description}")
         lines.append("")
@@ -133,38 +143,116 @@ def render_report(tables: Dict[str, ResultTable], elapsed_s: Dict[str, float],
         lines.append("")
         lines.append(f"*(run time: {elapsed_s[eid]:.1f} s)*")
         lines.append("")
+    if cache_status is not None:
+        lines.append("## Run summary")
+        lines.append("")
+        lines.append("Per-exhibit wall time and result-cache status "
+                     "(campaign engine; see `python -m repro campaign`).")
+        lines.append("")
+        lines.append("| exhibit | wall time (s) | cache |")
+        lines.append("|---|---:|---|")
+        for eid in tables:
+            lines.append(
+                f"| `{eid}` | {elapsed_s.get(eid, 0.0):.2f} | "
+                f"{cache_status.get(eid, 'n/a')} |"
+            )
+        total = sum(elapsed_s.get(eid, 0.0) for eid in tables)
+        lines.append(f"| **total** | **{total:.2f}** | |")
+        lines.append("")
     return "\n".join(lines)
+
+
+def parse_seeds(text: str) -> list:
+    """Parse a ``--seeds`` value: comma list (``1,2,3``) or range (``1-5``)."""
+    seeds = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "-" in chunk[1:]:
+            lo, hi = chunk.split("-", 1)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(chunk))
+    if not seeds:
+        raise argparse.ArgumentTypeError(f"no seeds in {text!r}")
+    return seeds
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
-                        help="use the fast profile (shorter runs, one seed)")
-    parser.add_argument("--seed", type=int, default=1)
+                        help="use the fast profile (shorter runs)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="single seed (back-compat; see --seeds)")
+    parser.add_argument("--seeds", type=parse_seeds, default=None,
+                        help="comma list or range of seeds, e.g. 1,2,3 or "
+                             "1-5; tables become mean ± 95%% CI")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes (campaign engine)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default .repro-cache)")
     parser.add_argument("--out", default="EXPERIMENTS.md")
     parser.add_argument("--only", nargs="*", default=None,
                         help="restrict to these experiment ids")
     args = parser.parse_args(argv)
 
-    tables: Dict[str, ResultTable] = {}
-    elapsed: Dict[str, float] = {}
+    from ..campaign import (
+        ProgressPrinter,
+        ResultCache,
+        expand_jobs,
+        run_campaign,
+    )
+
+    seeds = args.seeds if args.seeds else [args.seed]
     ids = args.only if args.only else list(REGISTRY)
-    for eid in ids:
-        experiment = REGISTRY[eid]
-        print(f"[{eid}] {experiment.description} ...", flush=True)
-        start = time.time()
-        tables[eid] = experiment.run(seed=args.seed, fast=args.fast)
-        elapsed[eid] = time.time() - start
-        print(tables[eid].to_text("{:.4g}"))
-        print(f"  ({elapsed[eid]:.1f} s)", flush=True)
+    specs = expand_jobs(ids, seeds, args.fast, list(REGISTRY))
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = None  # campaign default
+    result = run_campaign(
+        specs,
+        jobs=args.jobs,
+        cache=cache,
+        progress=ProgressPrinter(),
+    )
+
+    tables = result.aggregated()
+    elapsed: Dict[str, float] = {}
+    cache_status: Dict[str, str] = {}
+    for eid in tables:
+        outcomes = [result.outcome(eid, s) for s in seeds
+                    if (eid, s) in result.outcomes]
+        elapsed[eid] = sum(o.elapsed_s for o in outcomes)
+        hits = sum(o.from_cache for o in outcomes)
+        cache_status[eid] = (
+            "hit" if hits == len(outcomes)
+            else "miss" if hits == 0
+            else f"partial ({hits}/{len(outcomes)})"
+        )
+
+    for eid, table in tables.items():
+        print(f"[{eid}] {REGISTRY[eid].description} "
+              f"({elapsed[eid]:.1f} s, cache {cache_status[eid]})")
+        print(table.to_text("{:.4g}"), flush=True)
+
+    for failure in result.failures():
+        print(f"FAILED {failure.spec} after {failure.attempts} attempts:\n"
+              f"{failure.error}", file=sys.stderr)
 
     if not args.only:
         profile = "fast" if args.fast else "paper"
-        report = render_report(tables, elapsed, profile, args.seed)
+        report = render_report(tables, elapsed, profile, seeds[0],
+                               seeds=seeds, cache_status=cache_status)
         with open(args.out, "w") as handle:
             handle.write(report)
         print(f"wrote {args.out}")
-    return 0
+    return 1 if result.failures() else 0
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ diff-friendly output without any plotting dependency.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
@@ -115,6 +116,56 @@ class ResultTable:
                 f"{value:.1f}"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (title, rows, notes) for JSON serialization."""
+        return {
+            "title": self.title,
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ResultTable":
+        """Inverse of :meth:`to_dict`; validates the payload shape."""
+        try:
+            title = payload["title"]
+        except (TypeError, KeyError):
+            raise ValueError("ResultTable payload needs a 'title' key") from None
+        if not isinstance(title, str):
+            raise ValueError(f"ResultTable title must be str, got {title!r}")
+        rows = payload.get("rows", [])
+        notes = payload.get("notes", [])
+        if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+            raise ValueError("ResultTable rows must be a list of dicts")
+        if not isinstance(notes, list) or not all(isinstance(n, str) for n in notes):
+            raise ValueError("ResultTable notes must be a list of strings")
+        return cls(
+            title=title,
+            rows=[dict(row) for row in rows],
+            notes=list(notes),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to JSON (round-trips through :meth:`from_json`).
+
+        Cell values must be JSON scalars (str / int / float / bool /
+        ``None``) — which every exhibit already satisfies.  Key order and
+        row order are preserved, so two tables with identical content
+        produce byte-identical JSON (the property the campaign result
+        cache keys on).
+        """
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        """Parse a table previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid ResultTable JSON: {exc}") from None
+        return cls.from_dict(payload)
 
     def to_csv(self) -> str:
         cols = self.columns()

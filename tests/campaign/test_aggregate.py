@@ -1,0 +1,97 @@
+"""Tests for per-seed table aggregation (mean ± 95 % CI)."""
+
+import pytest
+
+from repro.campaign.aggregate import aggregate_seeds
+from repro.campaign.executor import run_campaign
+from repro.campaign.jobs import JobSpec
+from repro.experiments.results import ResultTable
+from repro.experiments.stats import summarize
+
+
+def table_for(values, labels=("a", "b"), title="T"):
+    table = ResultTable(title)
+    for label, value in zip(labels, values):
+        table.add_row(x=1, label=label, y=value)
+    return table
+
+
+def test_single_table_passes_through_unchanged():
+    src = table_for([1.0, 2.0])
+    src.add_note("only seed")
+    out = aggregate_seeds([src])
+    assert out.to_dict() == src.to_dict()
+    assert out is not src  # a copy, not an alias
+
+
+def test_mean_and_ci_match_stats_summarize():
+    tables = [table_for([v, v * 2]) for v in (10.0, 12.0, 14.0)]
+    out = aggregate_seeds(tables)
+    expected_row0 = summarize([10.0, 12.0, 14.0])
+    expected_row1 = summarize([20.0, 24.0, 28.0])
+    assert out.rows[0]["y"] == pytest.approx(expected_row0.mean)
+    assert out.rows[0]["y_ci95"] == pytest.approx(expected_row0.ci95)
+    assert out.rows[1]["y"] == pytest.approx(expected_row1.mean)
+    assert out.rows[1]["y_ci95"] == pytest.approx(expected_row1.ci95)
+    assert any("3 seeds" in note for note in out.notes)
+
+
+def test_identical_numeric_column_stays_int_without_ci():
+    """Swept x-axis parameters keep their type and gain no CI column."""
+    tables = [table_for([1.0, 2.0]), table_for([3.0, 4.0])]
+    out = aggregate_seeds(tables)
+    assert out.rows[0]["x"] == 1 and isinstance(out.rows[0]["x"], int)
+    assert "x_ci95" not in out.columns()
+    assert "y_ci95" in out.columns()
+
+
+def test_labels_pass_through_and_conflicts_raise():
+    out = aggregate_seeds([table_for([1.0, 2.0]), table_for([2.0, 3.0])])
+    assert out.column("label") == ["a", "b"]
+    with pytest.raises(ValueError, match="label"):
+        aggregate_seeds([
+            table_for([1.0, 2.0], labels=("a", "b")),
+            table_for([1.0, 2.0], labels=("a", "DIFFERENT")),
+        ])
+
+
+def test_row_count_mismatch_raises():
+    short = ResultTable("T")
+    short.add_row(x=1, label="a", y=1.0)
+    with pytest.raises(ValueError, match="row counts"):
+        aggregate_seeds([table_for([1.0, 2.0]), short])
+
+
+def test_empty_input_raises():
+    with pytest.raises(ValueError):
+        aggregate_seeds([])
+
+
+def test_common_notes_survive_seed_specific_ones_drop():
+    t1, t2 = table_for([1.0, 2.0]), table_for([2.0, 3.0])
+    for t in (t1, t2):
+        t.add_note("shared calibration note")
+    t1.add_note("seed=1")
+    t2.add_note("seed=2")
+    out = aggregate_seeds([t1, t2])
+    assert "shared calibration note" in out.notes
+    assert "seed=1" not in out.notes and "seed=2" not in out.notes
+
+
+def _partial_runner(spec):
+    if spec.exhibit_id == "dead" or (spec.exhibit_id == "half" and spec.seed == 2):
+        raise RuntimeError("nope")
+    table = ResultTable(spec.exhibit_id)
+    table.add_row(v=float(spec.seed))
+    return table
+
+
+def test_aggregate_campaign_skips_dead_exhibits_keeps_partial():
+    jobs = [JobSpec.make(eid, seed=s)
+            for eid in ("ok", "half", "dead") for s in (1, 2)]
+    result = run_campaign(jobs, cache=False, retries=0,
+                          runner=_partial_runner)
+    agg = result.aggregated()
+    assert set(agg) == {"ok", "half"}
+    assert len(agg["half"].rows) == 1  # only the surviving seed
+    assert agg["half"].rows[0]["v"] == 1.0

@@ -1,0 +1,92 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import json
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.jobs import JobSpec
+from repro.experiments.results import ResultTable
+
+
+def sample_table():
+    table = ResultTable("Fig. X: sample")
+    table.add_row(x=1, y=2.5, label="a")
+    table.add_row(x=2, y=3.5, label="b")
+    table.add_note("a note")
+    return table
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=3)
+    assert cache.get(spec) is None
+    cache.put(spec, sample_table(), elapsed_s=1.25)
+    entry = cache.get(spec)
+    assert entry is not None
+    assert entry.spec == spec
+    assert entry.elapsed_s == 1.25
+    assert entry.version == "0.1.0"
+    assert entry.table.to_dict() == sample_table().to_dict()
+
+
+def test_version_change_invalidates(tmp_path):
+    """Bumping ``repro.__version__`` must miss every old entry."""
+    root = tmp_path / "cache"
+    spec = JobSpec.make("fig04", seed=1)
+    ResultCache(root, version="0.1.0").put(spec, sample_table(), 1.0)
+    assert ResultCache(root, version="0.1.0").get(spec) is not None
+    assert ResultCache(root, version="0.2.0").get(spec) is None
+    # ... and a fresh result under the new version coexists on disk
+    ResultCache(root, version="0.2.0").put(spec, sample_table(), 2.0)
+    assert ResultCache(root, version="0.2.0").get(spec) is not None
+
+
+def test_seed_and_profile_separate_entries(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    cache.put(JobSpec.make("fig04", seed=1), sample_table(), 1.0)
+    assert cache.get(JobSpec.make("fig04", seed=2)) is None
+    assert cache.get(JobSpec.make("fig04", seed=1, fast=False)) is None
+
+
+def test_corrupt_entry_is_a_miss_and_evicted(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=1)
+    path = cache.put(spec, sample_table(), 1.0)
+    path.write_text("{not json")
+    assert cache.get(spec) is None
+    assert not path.exists()  # evicted
+
+
+def test_tampered_key_is_rejected(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=1)
+    path = cache.put(spec, sample_table(), 1.0)
+    payload = json.loads(path.read_text())
+    payload["key"] = "0" * 64
+    path.write_text(json.dumps(payload))
+    assert cache.get(spec) is None
+
+
+def test_clear_and_status(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    for seed in (1, 2):
+        cache.put(JobSpec.make("fig04", seed=seed), sample_table(), 1.0)
+    cache.put(JobSpec.make("fig29", seed=1), sample_table(), 1.0)
+    old = ResultCache(tmp_path / "cache", version="0.0.9")
+    old.put(JobSpec.make("fig29", seed=9), sample_table(), 1.0)
+
+    status = cache.status()
+    assert status["entries"] == 4
+    assert status["current_version_entries"] == 3
+    assert status["by_exhibit"] == {"fig04": 2, "fig29": 2}
+    assert status["bytes"] > 0
+
+    assert cache.clear() == 4  # clear drops every version
+    assert cache.status()["entries"] == 0
+    assert cache.clear() == 0
+
+
+def test_missing_directory_is_empty_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path / "nope", version="0.1.0")
+    assert list(cache.entries()) == []
+    assert cache.clear() == 0
+    assert cache.status()["entries"] == 0

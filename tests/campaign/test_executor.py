@@ -1,0 +1,229 @@
+"""Executor edge cases: retries, timeouts, graceful failure, parallel parity.
+
+Synthetic runners live at module level so they stay picklable for the
+process-pool paths.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import CampaignResult, JobOutcome, run_campaign
+from repro.campaign.jobs import CampaignSpec, JobSpec
+from repro.campaign.progress import CampaignStats
+from repro.experiments.results import ResultTable
+
+
+# ----------------------------------------------------------------------
+# Picklable synthetic runners.
+
+
+def fake_runner(spec):
+    """Deterministic cheap stand-in for an exhibit run."""
+    rng = random.Random(f"{spec.exhibit_id}:{spec.seed}")  # str-seeded: stable
+    table = ResultTable(f"synthetic {spec.exhibit_id}")
+    for x in range(3):
+        table.add_row(x=x, y=round(rng.random(), 6), label=f"row{x}")
+    table.add_note(f"seed={spec.seed}")
+    return table
+
+
+def crashing_runner(spec):
+    raise RuntimeError(f"boom on {spec.exhibit_id}")
+
+
+def sleeping_runner(spec):
+    time.sleep(10.0)
+    return fake_runner(spec)
+
+
+class FlakyRunner:
+    """Fails ``fail_times`` times (counted in a file, so it survives
+    pickling into pool workers), then succeeds."""
+
+    def __init__(self, counter_path, fail_times):
+        self.counter_path = str(counter_path)
+        self.fail_times = fail_times
+
+    def __call__(self, spec):
+        try:
+            with open(self.counter_path) as handle:
+                attempts = int(handle.read() or 0)
+        except FileNotFoundError:
+            attempts = 0
+        attempts += 1
+        with open(self.counter_path, "w") as handle:
+            handle.write(str(attempts))
+        if attempts <= self.fail_times:
+            raise RuntimeError(f"flaky attempt {attempts}")
+        return fake_runner(spec)
+
+
+def specs(*pairs):
+    return [JobSpec.make(eid, seed=seed) for eid, seed in pairs]
+
+
+# ----------------------------------------------------------------------
+
+
+def test_inline_success_records_everything(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    result = run_campaign(
+        specs(("a", 1), ("a", 2), ("b", 1)),
+        jobs=1, cache=cache, runner=fake_runner,
+    )
+    assert result.ok and not result.failures()
+    assert result.stats.total == 3
+    assert result.stats.completed == 3
+    assert result.stats.cache_misses == 3
+    assert result.exhibit_ids() == ["a", "b"]
+    assert len(result.tables_for("a")) == 2
+    outcome = result.outcome("a", 1)
+    assert outcome.ok and outcome.attempts == 1 and not outcome.from_cache
+    assert outcome.table.to_dict() == fake_runner(JobSpec.make("a", 1)).to_dict()
+
+
+def test_cache_hits_skip_execution(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    jobs = specs(("a", 1), ("a", 2))
+    run_campaign(jobs, cache=cache, runner=fake_runner)
+    second = run_campaign(jobs, cache=cache, runner=crashing_runner)
+    # crashing runner never invoked: everything came from the cache
+    assert second.ok
+    assert second.stats.cache_hits == 2 and second.stats.cache_misses == 0
+    assert all(o.from_cache for o in second.outcomes.values())
+
+
+def test_cache_false_disables_caching(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # any default cache would land here
+    result = run_campaign(specs(("a", 1)), cache=False, runner=fake_runner)
+    assert result.ok
+    assert not (tmp_path / ".repro-cache").exists()
+
+
+def test_retry_then_succeed(tmp_path):
+    runner = FlakyRunner(tmp_path / "counter", fail_times=2)
+    result = run_campaign(
+        specs(("a", 1)), cache=False, runner=runner,
+        retries=2, backoff_s=0.01,
+    )
+    assert result.ok
+    outcome = result.outcome("a", 1)
+    assert outcome.attempts == 3
+    assert result.stats.retries == 2
+
+
+def test_retries_exhausted_records_failure_not_exception(tmp_path):
+    runner = FlakyRunner(tmp_path / "counter", fail_times=99)
+    result = run_campaign(
+        specs(("a", 1), ("b", 1)), cache=False, runner=runner,
+        retries=1, backoff_s=0.01,
+    )
+    # the campaign itself never raises; the failure is recorded
+    assert not result.ok
+    [failure] = [o for o in result.failures() if o.spec.exhibit_id == "a"] or \
+                result.failures()[:1]
+    assert failure.attempts == 2
+    assert "flaky attempt" in failure.error
+    assert result.stats.failed >= 1
+
+
+def test_crash_does_not_kill_campaign():
+    result = run_campaign(
+        specs(("good", 1), ("bad", 1)),
+        cache=False, retries=0, runner=_mixed_runner,
+    )
+    assert result.outcome("good", 1).ok
+    bad = result.outcome("bad", 1)
+    assert not bad.ok and "boom" in bad.error
+    assert result.stats.completed == 1 and result.stats.failed == 1
+
+
+def _mixed_runner(spec):
+    if spec.exhibit_id == "bad":
+        raise RuntimeError("boom")
+    return fake_runner(spec)
+
+
+def test_timeout_records_failure_and_campaign_continues():
+    result = run_campaign(
+        specs(("slow", 1), ("quick", 1)),
+        cache=False, retries=0, timeout_s=0.3,
+        runner=_slow_or_quick,
+    )
+    slow = result.outcome("slow", 1)
+    assert not slow.ok and "timeout" in slow.error
+    assert result.outcome("quick", 1).ok
+
+
+def _slow_or_quick(spec):
+    if spec.exhibit_id == "slow":
+        time.sleep(10.0)
+    return fake_runner(spec)
+
+
+def test_duplicate_jobs_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        run_campaign(specs(("a", 1), ("a", 1)), cache=False,
+                     runner=fake_runner)
+
+
+def test_parallel_matches_inline_for_synthetic_jobs(tmp_path):
+    jobs = specs(("a", 1), ("a", 2), ("b", 1), ("b", 2), ("c", 1))
+    inline = run_campaign(jobs, jobs=1, cache=False, runner=fake_runner)
+    pooled = run_campaign(jobs, jobs=4, cache=False, runner=fake_runner)
+    assert inline.ok and pooled.ok
+    for spec in jobs:
+        a = inline.outcomes[spec.key].table.to_json()
+        b = pooled.outcomes[spec.key].table.to_json()
+        assert a == b  # byte-identical regardless of --jobs
+
+
+def test_pool_timeout_and_retry(tmp_path):
+    runner = FlakyRunner(tmp_path / "counter", fail_times=1)
+    result = run_campaign(
+        specs(("a", 1), ("b", 1)), jobs=2, cache=False,
+        runner=runner, retries=2, backoff_s=0.01, timeout_s=30.0,
+    )
+    assert result.ok
+    assert result.stats.retries >= 1
+
+
+@pytest.mark.slow
+def test_real_exhibit_identical_across_jobs():
+    """Acceptance: fixed-seed results are byte-identical for jobs=1 vs 4."""
+    spec = CampaignSpec.make(ids=["fig29"], seeds=[1, 2], fast=True)
+    inline = run_campaign(spec, jobs=1, cache=False)
+    pooled = run_campaign(spec, jobs=4, cache=False)
+    assert inline.ok and pooled.ok
+    for seed in (1, 2):
+        assert (inline.outcome("fig29", seed).table.to_json()
+                == pooled.outcome("fig29", seed).table.to_json())
+
+
+def test_campaign_result_aggregated_helper():
+    result = run_campaign(specs(("a", 1), ("a", 2)), cache=False,
+                          runner=fake_runner)
+    agg = result.aggregated()
+    assert set(agg) == {"a"}
+    assert any("2 seeds" in note for note in agg["a"].notes)
+
+
+def test_stats_injection_and_summary():
+    stats = CampaignStats()
+    result = run_campaign(specs(("a", 1)), cache=False, runner=fake_runner,
+                          stats=stats)
+    assert result.stats is stats
+    line = stats.summary_line()
+    assert "1/1 ok" in line and "0 failed" in line
+
+
+def test_outcome_dataclass_flags():
+    spec = JobSpec.make("a", 1)
+    ok = JobOutcome(spec, ResultTable("t"), None, 1, 0.1)
+    bad = JobOutcome(spec, None, "err", 2, 0.1)
+    assert ok.ok and not bad.ok
+    empty = CampaignResult()
+    assert empty.ok and empty.failures() == []

@@ -1,0 +1,75 @@
+"""Unit tests for the campaign job model (specs, expansion, cache keys)."""
+
+import pytest
+
+from repro.campaign.jobs import CampaignSpec, JobSpec, expand_jobs
+
+KNOWN = ["fig04", "fig19", "fig29", "table1"]
+
+
+def test_make_normalises_and_freezes():
+    spec = JobSpec.make("fig04", seed="3", fast=1, params={"b": 2, "a": 1})
+    assert spec.seed == 3 and spec.fast is True
+    assert spec.params == (("a", 1), ("b", 2))  # sorted, hashable
+    assert hash(spec)  # frozen dataclass stays hashable
+    assert spec.param_dict() == {"a": 1, "b": 2}
+    assert spec.run_kwargs() == {"seed": 3, "fast": True, "a": 1, "b": 2}
+
+
+def test_profile_and_key():
+    assert JobSpec("fig04", 2, True).profile == "fast"
+    assert JobSpec("fig04", 2, False).profile == "paper"
+    assert JobSpec("fig04", 2, True).key == ("fig04", 2)
+
+
+def test_params_reject_non_scalars():
+    with pytest.raises(TypeError):
+        JobSpec.make("fig04", params={"xs": [1, 2]})
+    with pytest.raises(TypeError):
+        JobSpec.make("fig04", params={1: "x"})
+
+
+def test_dict_round_trip():
+    spec = JobSpec.make("fig19", seed=7, fast=False, params={"k": "v"})
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_cache_key_is_stable_and_sensitive():
+    spec = JobSpec.make("fig04", seed=1, fast=True)
+    key = spec.cache_key("0.1.0")
+    assert key == spec.cache_key("0.1.0")  # deterministic
+    assert len(key) == 64  # sha256 hex
+    # every input dimension must change the key
+    assert key != JobSpec.make("fig29", seed=1).cache_key("0.1.0")
+    assert key != JobSpec.make("fig04", seed=2).cache_key("0.1.0")
+    assert key != JobSpec.make("fig04", seed=1, fast=False).cache_key("0.1.0")
+    assert key != JobSpec.make("fig04", params={"x": 1}).cache_key("0.1.0")
+    assert key != spec.cache_key("0.2.0")
+
+
+def test_campaign_expansion_crosses_ids_and_seeds():
+    jobs = CampaignSpec.make(ids=["fig04", "fig29"], seeds=[1, 2, 3]).expand(KNOWN)
+    assert len(jobs) == 6
+    assert {j.key for j in jobs} == {
+        ("fig04", 1), ("fig04", 2), ("fig04", 3),
+        ("fig29", 1), ("fig29", 2), ("fig29", 3),
+    }
+
+
+def test_campaign_default_ids_means_all_known():
+    jobs = CampaignSpec.make(seeds=[5]).expand(KNOWN)
+    assert [j.exhibit_id for j in jobs] == KNOWN
+    assert all(j.seed == 5 for j in jobs)
+
+
+def test_campaign_rejects_unknown_ids_and_empty_seeds():
+    with pytest.raises(KeyError, match="fig999"):
+        CampaignSpec.make(ids=["fig999"]).expand(KNOWN)
+    with pytest.raises(ValueError):
+        CampaignSpec.make(seeds=[])
+
+
+def test_expand_jobs_wrapper():
+    jobs = expand_jobs(None, [1, 2], True, KNOWN)
+    assert len(jobs) == 2 * len(KNOWN)
+    assert str(jobs[0]) == f"{KNOWN[0]}@seed=1/fast"

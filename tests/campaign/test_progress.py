@@ -1,0 +1,69 @@
+"""Tests for campaign counters and the live progress printer."""
+
+import io
+
+from repro.campaign.progress import CampaignStats, ProgressPrinter
+
+
+class FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def test_stats_record_and_counters():
+    stats = CampaignStats(total=3)
+    stats.record(("a", 1), 1.5, ok=True, from_cache=False, retries=1)
+    stats.record(("a", 2), 0.0, ok=True, from_cache=True)
+    stats.record(("b", 1), 2.0, ok=False, from_cache=False)
+    assert stats.completed == 2 and stats.failed == 1 and stats.done == 3
+    assert stats.cache_hits == 1 and stats.cache_misses == 2
+    assert stats.retries == 1
+    assert stats.job_elapsed_s[("a", 1)] == 1.5
+    assert stats.elapsed_s() >= 0.0
+
+
+def test_summary_line_mentions_everything():
+    stats = CampaignStats(total=2)
+    stats.record(("a", 1), 1.0, ok=True, from_cache=True, retries=2)
+    stats.record(("b", 1), 1.0, ok=False, from_cache=False)
+    line = stats.summary_line()
+    assert "1/2 ok" in line
+    assert "1 failed" in line
+    assert "cache 1 hit / 1 miss" in line
+    assert "2 retries" in line
+
+
+def test_printer_non_tty_writes_one_line_per_job():
+    stream = io.StringIO()
+    printer = ProgressPrinter(stream)
+    stats = CampaignStats(total=2)
+    stats.record(("a", 1), 1.0, ok=True, from_cache=False)
+    printer.update(stats, "a@seed=1", ok=True, from_cache=False, elapsed_s=1.0)
+    stats.record(("b", 1), 0.0, ok=False, from_cache=False)
+    printer.update(stats, "b@seed=1", ok=False, from_cache=False, elapsed_s=0.0)
+    printer.finish(stats)
+    lines = stream.getvalue().splitlines()
+    assert lines[0].startswith("[1/2] ok  a@seed=1")
+    assert "FAIL b@seed=1" in lines[1]
+    assert lines[-1].startswith("campaign: ")
+    assert "\r" not in stream.getvalue()
+
+
+def test_printer_tty_rewrites_in_place():
+    stream = FakeTty()
+    printer = ProgressPrinter(stream)
+    stats = CampaignStats(total=1)
+    stats.record(("a", 1), 0.5, ok=True, from_cache=True)
+    printer.update(stats, "a@seed=1", ok=True, from_cache=True, elapsed_s=0.5)
+    printer.finish(stats)
+    text = stream.getvalue()
+    assert "\r" in text and "(cache)" in text
+
+
+def test_printer_disabled_is_silent():
+    stream = io.StringIO()
+    printer = ProgressPrinter(stream, enabled=False)
+    stats = CampaignStats(total=1)
+    printer.update(stats, "x", ok=True, from_cache=False, elapsed_s=0.0)
+    printer.finish(stats)
+    assert stream.getvalue() == ""

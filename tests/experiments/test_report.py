@@ -38,3 +38,46 @@ def test_render_includes_claims_and_notes():
     assert PAPER_CLAIMS["fig19"] in text
     assert "a note" in text
     assert "seed: 7" in text
+
+
+def test_render_footer_with_cache_status_and_seeds():
+    tables, elapsed = _dummy_tables()
+    cache_status = {eid: ("hit" if i % 2 else "miss")
+                    for i, eid in enumerate(tables)}
+    text = render_report(tables, elapsed, profile="fast", seed=1,
+                         seeds=[1, 2, 3], cache_status=cache_status)
+    assert "seeds: 1,2,3" in text
+    assert "## Run summary" in text
+    assert "| exhibit | wall time (s) | cache |" in text
+    assert "| `fig19` | 0.50 | " in text
+    assert "| **total** |" in text
+    # one summary row per exhibit
+    assert text.count("| 0.50 |") == len(tables)
+
+
+def test_render_without_cache_status_has_no_footer():
+    tables, elapsed = _dummy_tables()
+    text = render_report(tables, elapsed, profile="paper", seed=1)
+    assert "Run summary" not in text
+
+
+def test_render_skips_missing_exhibits():
+    tables, elapsed = _dummy_tables()
+    del tables["fig19"]
+    text = render_report(tables, elapsed, profile="paper", seed=1)
+    assert "dummy fig19" not in text
+    assert "dummy fig04" in text
+
+
+def test_parse_seeds_forms():
+    from repro.experiments.report import parse_seeds
+
+    assert parse_seeds("1,2,3") == [1, 2, 3]
+    assert parse_seeds("4") == [4]
+    assert parse_seeds("1-4") == [1, 2, 3, 4]
+    assert parse_seeds("7,9-11") == [7, 9, 10, 11]
+    import argparse
+    import pytest
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_seeds(",")

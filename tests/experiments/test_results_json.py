@@ -1,0 +1,95 @@
+"""JSON round-trip tests for ResultTable (the campaign cache format)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.results import ResultTable
+
+# Cell values an exhibit can produce: JSON scalars only.
+cells = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=24),
+    st.booleans(),
+    st.none(),
+)
+column_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=12
+)
+
+
+@st.composite
+def tables(draw):
+    table = ResultTable(draw(st.text(max_size=40)))
+    columns = draw(st.lists(column_names, min_size=1, max_size=5, unique=True))
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        row = {col: draw(cells) for col in columns
+               if draw(st.booleans())}  # ragged rows allowed
+        table.rows.append(row)
+    for note in draw(st.lists(st.text(max_size=40), max_size=3)):
+        table.add_note(note)
+    return table
+
+
+@settings(max_examples=80, deadline=None)
+@given(tables())
+def test_json_round_trip_preserves_everything(table):
+    clone = ResultTable.from_json(table.to_json())
+    # title, notes, row order and cell values all survive
+    assert clone.title == table.title
+    assert clone.notes == table.notes
+    assert clone.rows == table.rows
+    assert clone.columns() == table.columns()
+    # cell *types* survive too: int stays int, float stays float, bool
+    # stays bool (bool is an int subclass, so == alone would not catch it)
+    for original_row, cloned_row in zip(table.rows, clone.rows):
+        assert list(original_row) == list(cloned_row)  # key order
+        for key in original_row:
+            assert type(cloned_row[key]) is type(original_row[key])
+    # rendering is identical, hence cache-served tables print identically
+    assert clone.to_text() == table.to_text()
+    assert clone.to_json() == table.to_json()
+
+
+def test_round_trip_mixed_cell_types_explicit():
+    table = ResultTable("Fig. T: mixed")
+    table.add_row(n=1, ratio=0.5, label="edge", flag=True, hole=None)
+    table.add_row(ratio=2.0, n=7, label="x")  # different key order + ragged
+    table.add_note("note 1")
+    table.add_note("note 2")
+    clone = ResultTable.from_json(table.to_json(indent=2))
+    assert clone.rows[0] == {"n": 1, "ratio": 0.5, "label": "edge",
+                             "flag": True, "hole": None}
+    assert isinstance(clone.rows[0]["n"], int)
+    assert isinstance(clone.rows[0]["ratio"], float)
+    assert isinstance(clone.rows[0]["flag"], bool)
+    assert list(clone.rows[1]) == ["ratio", "n", "label"]
+    assert clone.notes == ["note 1", "note 2"]
+
+
+def test_to_dict_is_a_deep_copy():
+    table = ResultTable("t")
+    table.add_row(a=1)
+    payload = table.to_dict()
+    payload["rows"][0]["a"] = 999
+    assert table.rows[0]["a"] == 1
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ValueError, match="invalid ResultTable JSON"):
+        ResultTable.from_json("{not json")
+    with pytest.raises(ValueError, match="title"):
+        ResultTable.from_json(json.dumps({"rows": []}))
+    with pytest.raises(ValueError, match="title"):
+        ResultTable.from_json(json.dumps({"title": 3}))
+    with pytest.raises(ValueError, match="rows"):
+        ResultTable.from_json(json.dumps({"title": "t", "rows": [1, 2]}))
+    with pytest.raises(ValueError, match="notes"):
+        ResultTable.from_json(json.dumps({"title": "t", "notes": [1]}))
+
+
+def test_from_dict_defaults_missing_sections():
+    table = ResultTable.from_dict({"title": "t"})
+    assert table.rows == [] and table.notes == []

@@ -8,7 +8,8 @@ import repro
 
 
 def test_top_level_exposes_all_subpackages():
-    for name in ("sim", "phy", "mac", "core", "net", "dot11", "experiments"):
+    for name in ("sim", "phy", "mac", "core", "net", "dot11", "experiments",
+                 "campaign"):
         assert hasattr(repro, name)
     assert repro.__version__
 
@@ -21,6 +22,7 @@ PACKAGES = [
     "repro.net",
     "repro.dot11",
     "repro.experiments",
+    "repro.campaign",
 ]
 
 
