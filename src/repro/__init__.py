@@ -12,16 +12,20 @@ The package implements, from scratch:
 - network/node/topology/deployment layers (:mod:`repro.net`),
 - a simplified 802.11b contrast substrate (:mod:`repro.dot11`),
 - an experiment harness reproducing every table and figure of the paper's
-  evaluation (:mod:`repro.experiments`), and
+  evaluation (:mod:`repro.experiments`),
 - a parallel experiment-campaign engine with result caching, retries and
-  per-seed aggregation (:mod:`repro.campaign`).
+  per-seed aggregation (:mod:`repro.campaign`), and
+- kernel profiling / benchmark-regression tooling (:mod:`repro.perf`).
 """
 
 from . import core, dot11, experiments, mac, net, phy, sim
 
-__version__ = "0.1.0"
+# 0.2.0: PR-2 kernel performance layer.  Per-link fading RNG streams and
+# frame-timeline bit accounting change fixed-seed draw sequences, so the
+# version bump deliberately invalidates every `.repro-cache/` entry.
+__version__ = "0.2.0"
 
-from . import campaign  # noqa: E402  (the cache keys on __version__)
+from . import campaign, perf  # noqa: E402  (the cache keys on __version__)
 
 __all__ = [
     "campaign",
@@ -30,6 +34,7 @@ __all__ = [
     "experiments",
     "mac",
     "net",
+    "perf",
     "phy",
     "sim",
     "__version__",

@@ -10,6 +10,11 @@
                                                # batch-run exhibits x seeds
     python -m repro campaign status            # result-cache inventory
     python -m repro campaign clean             # drop the result cache
+    python -m repro perf profile fig19 --fast  # cProfile top-N hotspots
+    python -m repro perf bench                 # kernel micro-benchmarks
+                                               # (writes BENCH_kernel.json)
+    python -m repro perf bench --quick --check BENCH_kernel.json
+                                               # CI regression gate
 """
 
 from __future__ import annotations
@@ -131,6 +136,58 @@ def _cmd_campaign_clean(args) -> int:
     return 0
 
 
+def _cmd_perf_profile(args) -> int:
+    from .perf import profile_exhibit
+
+    try:
+        report = profile_exhibit(
+            args.experiment,
+            seed=args.seed,
+            fast=args.fast,
+            top=args.top,
+            sort=args.sort,
+            out=args.out,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(report, end="")
+    return 0
+
+
+def _cmd_perf_bench(args) -> int:
+    from .perf import check_against_baseline, load_baseline, run_bench_suite
+    from .perf.bench import write_baseline
+
+    baseline = None
+    if args.check:
+        # Load before running the suite: a missing baseline should fail in
+        # milliseconds, not after a multi-second benchmark run.
+        try:
+            baseline = load_baseline(args.check)
+        except FileNotFoundError:
+            print(f"baseline {args.check!r} not found", file=sys.stderr)
+            return 2
+    print(f"kernel benchmark suite ({'quick' if args.quick else 'full'} profile)")
+    doc = run_bench_suite(quick=args.quick)
+    if baseline is not None:
+        ok = check_against_baseline(doc, baseline, tolerance=args.tolerance)
+        if not ok:
+            print(
+                f"FAIL: kernel benchmark regressed beyond "
+                f"{args.tolerance:.0%} of {args.check}",
+                file=sys.stderr,
+            )
+            return 1
+        print("benchmarks within tolerance of baseline")
+        if not args.out:
+            return 0
+    out_path = args.out or "BENCH_kernel.json"
+    write_baseline(doc, out_path)
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +259,41 @@ def main(argv=None) -> int:
     c_clean = campaign_sub.add_parser("clean", help="drop the result cache")
     c_clean.add_argument("--cache-dir", default=None)
     c_clean.set_defaults(func=_cmd_campaign_clean)
+
+    perf_parser = sub.add_parser(
+        "perf", help="profiling and kernel benchmarks"
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+
+    p_profile = perf_sub.add_parser(
+        "profile", help="run one exhibit under cProfile"
+    )
+    p_profile.add_argument("experiment", help="exhibit id, e.g. fig19")
+    p_profile.add_argument("--seed", type=int, default=1)
+    p_profile.add_argument("--fast", action="store_true")
+    p_profile.add_argument("--top", type=int, default=20,
+                           help="number of hotspots to print (default 20)")
+    p_profile.add_argument("--sort", choices=("tottime", "cumtime", "ncalls"),
+                           default="tottime")
+    p_profile.add_argument("--out", default=None,
+                           help="also dump raw pstats to this path")
+    p_profile.set_defaults(func=_cmd_perf_profile)
+
+    p_bench = perf_sub.add_parser(
+        "bench", help="kernel micro-benchmarks (writes BENCH_kernel.json)"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smaller iteration counts (CI profile)")
+    p_bench.add_argument("--out", default=None,
+                         help="output JSON path (default BENCH_kernel.json)")
+    p_bench.add_argument("--check", default=None,
+                         help="compare against a committed baseline JSON "
+                              "instead of writing; non-zero exit on "
+                              "regression")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         help="allowed fractional wall-time regression "
+                              "(default 0.25)")
+    p_bench.set_defaults(func=_cmd_perf_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -28,7 +28,7 @@ from ..phy.medium import Signal
 from ..phy.modulation import dbpsk_ber
 from ..phy.radio import Radio, RadioConfig, RadioState
 from ..phy.reception import Reception
-from ..sim.units import MICROSECOND, linear_to_db
+from ..sim.units import MICROSECOND, linear_to_db, mw_to_dbm
 
 __all__ = [
     "DOT11B_CHANNEL_1_MHZ",
@@ -114,14 +114,13 @@ class Dot11Radio(Radio):
         if self.current_reception is not None:
             # Close the elapsed segment under the old interference set.
             self.current_reception.on_interference_change()
-            self.active_signals.append(signal)
+            self._add_signal(signal)
             return
-        self.active_signals.append(signal)
+        self._add_signal(signal)
         if self.state is not RadioState.IDLE:
             return
-        in_band_dbm = signal.rx_power_dbm - self.mask.leakage_db(
-            signal.channel_mhz - self.channel_mhz
-        )
+        # Post-mask in-band power was cached by _add_signal.
+        in_band_dbm = mw_to_dbm(signal.decode_mw)
         if in_band_dbm < self.config.sensitivity_dbm:
             return
         if self._lock_sinr_db(signal) < self.config.capture_threshold_db:
@@ -151,7 +150,7 @@ class Dot11Radio(Radio):
         if locked_on_this:
             outcome = reception.finalize()
             self.current_reception = None
-            self.active_signals.remove(signal)
+            self._remove_signal(signal)
             if self._is_co_channel(signal):
                 self._dispatch_reception(outcome)
             # A false-locked off-channel frame never decodes: the receiver
@@ -159,12 +158,11 @@ class Dot11Radio(Radio):
             return
         if self.current_reception is not None:
             self.current_reception.on_interference_change()
-        self.active_signals.remove(signal)
+        self._remove_signal(signal)
 
     def _lock_sinr_db(self, signal: Signal) -> float:
-        in_band_mw = signal.rx_power_mw * (
-            10.0 ** (-self.mask.leakage_db(signal.channel_mhz - self.channel_mhz) / 10.0)
-        )
+        # The post-mask in-band power was cached when the signal was added.
+        in_band_mw = signal.decode_mw
         interference_mw = self.in_channel_power_mw(exclude=signal)
         if interference_mw <= 0.0:
             return 100.0

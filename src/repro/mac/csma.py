@@ -94,18 +94,20 @@ class CsmaTransaction:
         threshold = self.cca_policy.threshold_dbm()
         if self.radio.state is not RadioState.IDLE or self.radio.cca_busy(threshold):
             self.stats.cca_busy += 1
-            self.sim.trace.emit(
-                "cca_busy",
-                radio=self.radio.name,
-                threshold=round(threshold, 1)
-                if threshold != float("inf")
-                else "inf",
-            )
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    "cca_busy",
+                    radio=self.radio.name,
+                    threshold=round(threshold, 1)
+                    if threshold != float("inf")
+                    else "inf",
+                )
             self._nb += 1
             self._be = min(self._be + 1, self.params.mac_max_be)
             if self._nb > self.params.max_csma_backoffs:
                 self.stats.access_failures += 1
-                self.sim.trace.emit("access_failure", radio=self.radio.name)
+                if self.sim.trace.enabled:
+                    self.sim.trace.emit("access_failure", radio=self.radio.name)
                 self.on_failure(self.frame)
                 return
             self._backoff()

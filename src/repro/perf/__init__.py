@@ -1,0 +1,30 @@
+"""repro.perf — kernel profiling and performance-regression tooling.
+
+Two entry points, surfaced on the command line as ``python -m repro perf``:
+
+- :mod:`repro.perf.profiler` — ``repro perf profile <exhibit>``: run one
+  registered exhibit under :mod:`cProfile` and print the top-N hotspots,
+  so "where does the time go" is one command away;
+- :mod:`repro.perf.bench` — ``repro perf bench``: a fixed suite of kernel
+  micro-benchmarks (event-queue throughput, cancellation churn, medium
+  fan-out, CCA probing incremental vs. brute-force, and an end-to-end
+  exhibit) whose results are written to ``BENCH_kernel.json``.  The same
+  command can *check* a fresh run against the committed baseline
+  (``--check``), failing on wall-time regressions beyond a tolerance —
+  that is the CI guard keeping the speedup trajectory monotone.
+
+Benchmark comparisons across machines are normalised by a pure-Python
+calibration loop timed alongside every run (see
+:func:`repro.perf.bench.calibrate`), so the CI gate measures *relative*
+kernel cost rather than absolute runner speed.
+"""
+
+from .bench import run_bench_suite, check_against_baseline, load_baseline
+from .profiler import profile_exhibit
+
+__all__ = [
+    "run_bench_suite",
+    "check_against_baseline",
+    "load_baseline",
+    "profile_exhibit",
+]

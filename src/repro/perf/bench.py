@@ -1,0 +1,353 @@
+"""Kernel micro-benchmark suite and the ``BENCH_kernel.json`` baseline.
+
+The suite times the hot paths the PR-2 performance layer optimised:
+
+- ``event_queue``       — self-rescheduling event throughput (push/pop);
+- ``event_cancel_churn``— heavy cancellation (exercises heap compaction);
+- ``medium_fanout``     — one transmitter fanning frames to 30 receivers
+  through the :class:`~repro.phy.medium.LinkGainCache`;
+- ``cca_probe``         — the O(1) incremental sensing-path probe;
+- ``cca_probe_brute``   — the pre-optimisation O(n·mask) re-summation,
+  kept as the honest "before" reference (also used by the accumulator
+  exactness tests);
+- ``fig19_fast``        — an end-to-end representative exhibit (skipped
+  in ``--quick`` mode).
+
+Results are machine-normalised via :func:`calibrate` — a fixed pure-Python
+loop timed alongside every run — so a committed baseline from one machine
+can gate CI runs on another: what is compared is the benchmark's cost
+*relative to that machine's Python speed*, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "BEFORE_OPTIMISATION",
+    "brute_force_sensed_power_mw",
+    "brute_force_in_channel_power_mw",
+    "calibrate",
+    "run_bench_suite",
+    "load_baseline",
+    "check_against_baseline",
+]
+
+SCHEMA_VERSION = 1
+
+#: Pre-optimisation numbers, measured at the seed commit (ede54dc) on the
+#: same machine that produced the committed ``BENCH_kernel.json`` —
+#: interleaved with the optimised build in back-to-back fresh processes to
+#: cancel machine-speed drift, and pinned at the *fastest* observed
+#: pre-optimisation run (11.37-12.02 s range) so the recorded speedups are
+#: conservative.  Kept here (not re-measured) because the brute-force
+#: medium fan-out paths no longer exist; the CCA brute-force path *is*
+#: still measured live as ``cca_probe_brute``.
+BEFORE_OPTIMISATION: Dict[str, float] = {
+    "fig19_fast_wall_s": 11.37,
+    "cca_probe_us": 10.97,  # 20 active signals, per probe
+}
+
+
+# ----------------------------------------------------------------------
+# Brute-force reference implementations (pre-optimisation algorithms)
+# ----------------------------------------------------------------------
+def brute_force_sensed_power_mw(radio) -> float:
+    """Sensing-path power by full re-summation (the pre-PR-2 algorithm).
+
+    Walks every active signal, re-evaluates the CCA mask and converts the
+    leakage to a linear gain per probe.  Kept as the reference the
+    incremental accumulator is benchmarked and property-tested against.
+    """
+    total = radio._noise_mw
+    for signal in radio.active_signals:
+        leakage_db = radio.cca_mask.leakage_db(
+            signal.channel_mhz - radio.channel_mhz
+        )
+        total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
+    return total
+
+
+def brute_force_in_channel_power_mw(radio, exclude=None) -> float:
+    """Decode-path power by full re-summation (the pre-PR-2 algorithm)."""
+    total = radio._noise_mw
+    for signal in radio.active_signals:
+        if signal is exclude:
+            continue
+        leakage_db = radio.mask.leakage_db(signal.channel_mhz - radio.channel_mhz)
+        total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Machine calibration
+# ----------------------------------------------------------------------
+def calibrate(rounds: int = 3) -> float:
+    """Time a fixed pure-Python workload; the per-machine speed unit.
+
+    Returns the best-of-``rounds`` wall time of a deterministic
+    arithmetic loop.  Baseline comparisons scale by the ratio of
+    calibration times, cancelling out raw machine speed.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(500_000):
+            acc += i ^ (i >> 3)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Individual benchmarks
+# ----------------------------------------------------------------------
+def _bench_event_queue(n: int) -> Dict[str, Any]:
+    from ..sim.simulator import Simulator
+
+    sim = Simulator()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < n:
+            sim.schedule(1e-5, tick)
+
+    sim.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    sim.run_until_idle()
+    wall = time.perf_counter() - t0
+    assert count[0] == n
+    return {"wall_s": wall, "n": n, "per_op_us": wall / n * 1e6}
+
+
+def _bench_event_cancel_churn(n: int) -> Dict[str, Any]:
+    from ..sim.events import EventQueue
+
+    queue = EventQueue()
+    t0 = time.perf_counter()
+    # Repeatedly push a batch and cancel 90% of it: the lazy-cancellation
+    # heap must compact rather than grow monotonically.
+    for batch in range(n // 100):
+        events = [queue.push(batch + i * 1e-6, lambda: None) for i in range(100)]
+        for event in events[10:]:
+            queue.cancel(event)
+    while queue:
+        queue.pop()
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "n": n, "per_op_us": wall / n * 1e6}
+
+
+def _fanout_rig(n_receivers: int = 30):
+    from ..phy.fading import NoFading
+    from ..phy.medium import Medium
+    from ..phy.propagation import FixedRssMatrix
+    from ..phy.radio import Radio
+    from ..sim.rng import RngStreams
+    from ..sim.simulator import Simulator
+
+    sim = Simulator()
+    rng = RngStreams(1)
+    medium = Medium(
+        sim, FixedRssMatrix(default_loss_db=50.0), fading=NoFading(), rng=rng
+    )
+    tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0, rng=rng)
+    for i in range(n_receivers):
+        Radio(sim, medium, f"rx{i}", (1 + i, 0), 2460.0, 0.0, rng=rng)
+    return sim, tx
+
+
+def _bench_medium_fanout(frames: int) -> Dict[str, Any]:
+    from ..phy.frame import Frame
+
+    sim, tx = _fanout_rig()
+    t0 = time.perf_counter()
+    for _ in range(frames):
+        frame = Frame("tx", None, 60)
+        tx.transmit(frame, lambda t: None)
+        sim.run(sim.now + frame.airtime_s + 1e-6)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "n": frames, "per_op_us": wall / frames * 1e6}
+
+
+def _cca_rig(n_signals: int = 20):
+    from ..phy.frame import Frame
+    from ..phy.medium import Medium, Signal, Transmission
+    from ..phy.propagation import FixedRssMatrix
+    from ..phy.radio import Radio
+    from ..sim.rng import RngStreams
+    from ..sim.simulator import Simulator
+
+    sim = Simulator()
+    rng = RngStreams(1)
+    medium = Medium(sim, FixedRssMatrix(default_loss_db=50.0), rng=rng)
+    rx = Radio(sim, medium, "rx", (0, 0), 2460.0, 0.0, rng=rng)
+    for i in range(n_signals):
+        transmission = Transmission(
+            source=rx,
+            frame=Frame("s", None, 60),
+            channel_mhz=2460.0 + (i % 7),
+            tx_power_dbm=0.0,
+            start_time=0.0,
+            end_time=1.0,
+        )
+        rx._add_signal(Signal(transmission, -60.0 - i))
+    return rx
+
+
+def _bench_cca_probe(n: int, brute: bool) -> Dict[str, Any]:
+    rx = _cca_rig()
+    acc = 0.0
+    t0 = time.perf_counter()
+    if brute:
+        for _ in range(n):
+            acc += brute_force_sensed_power_mw(rx)
+    else:
+        for _ in range(n):
+            acc += rx.sensed_power_mw()
+    wall = time.perf_counter() - t0
+    assert acc > 0.0
+    return {"wall_s": wall, "n": n, "per_op_us": wall / n * 1e6}
+
+
+def _bench_fig19_fast() -> Dict[str, Any]:
+    from ..experiments.figures import fig19
+
+    t0 = time.perf_counter()
+    fig19.run(seed=1, fast=True)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "n": 1, "per_op_us": wall * 1e6}
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+#: Repetitions per micro-benchmark; the *fastest* round is recorded.
+#: Best-of-N is the standard jitter filter: scheduling hiccups and cache
+#: misses only ever make a round slower, so the minimum is the most
+#: repeatable estimate of the true cost — which is what a 25% CI gate
+#: needs on benches whose per-op time is fractions of a microsecond.
+BENCH_ROUNDS = 3
+
+
+def _best_of(fn, rounds: int = BENCH_ROUNDS) -> Dict[str, Any]:
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(rounds):
+        result = fn()
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    return best
+
+
+def run_bench_suite(quick: bool = False, verbose: bool = True) -> Dict[str, Any]:
+    """Run every benchmark and return the serialisable result document.
+
+    ``quick`` skips only the multi-second end-to-end exhibit benchmark;
+    the micro-benchmarks keep identical iteration counts in both modes so
+    quick-mode CI numbers are directly comparable to a full-mode baseline.
+    """
+    from .. import __version__
+
+    plan = [
+        ("event_queue", lambda: _bench_event_queue(200_000)),
+        ("event_cancel_churn", lambda: _bench_event_cancel_churn(100_000)),
+        ("medium_fanout", lambda: _bench_medium_fanout(400)),
+        ("cca_probe_brute", lambda: _bench_cca_probe(100_000, brute=True)),
+        ("cca_probe", lambda: _bench_cca_probe(200_000, brute=False)),
+    ]
+    plan = [(name, lambda fn=fn: _best_of(fn)) for name, fn in plan]
+    if not quick:
+        # End-to-end exhibit: one round (it is seconds, not microseconds,
+        # and per-op jitter averages out over the run itself).
+        plan.append(("fig19_fast", _bench_fig19_fast))
+
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "version": __version__,
+        "quick": quick,
+        "calibration_s": calibrate(),
+        "benches": {},
+        "before": dict(BEFORE_OPTIMISATION),
+    }
+    for name, fn in plan:
+        result = fn()
+        doc["benches"][name] = result
+        if verbose:
+            print(
+                f"  {name:<20} {result['wall_s']*1e3:9.2f} ms total   "
+                f"{result['per_op_us']:9.3f} us/op"
+            )
+
+    derived: Dict[str, float] = {}
+    benches = doc["benches"]
+    derived["cca_probe_speedup"] = (
+        benches["cca_probe_brute"]["per_op_us"] / benches["cca_probe"]["per_op_us"]
+    )
+    if "fig19_fast" in benches:
+        derived["fig19_speedup_vs_seed"] = (
+            BEFORE_OPTIMISATION["fig19_fast_wall_s"]
+            / benches["fig19_fast"]["wall_s"]
+        )
+    doc["derived"] = derived
+    if verbose:
+        for key, value in derived.items():
+            print(f"  {key:<28} {value:6.2f}x")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (the CI gate)
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Load a benchmark document previously written by :func:`write_baseline`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_against_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+    verbose: bool = True,
+) -> bool:
+    """Compare a fresh suite run against a committed baseline.
+
+    Each benchmark's wall time is first normalised by the calibration
+    ratio (how fast this machine runs plain Python relative to the
+    machine that produced the baseline), then compared per-op; a
+    regression beyond ``tolerance`` (default +25 %) fails the check.
+    Benchmarks absent from either document are skipped.
+    """
+    base_cal = baseline.get("calibration_s") or 1.0
+    cur_cal = current.get("calibration_s") or 1.0
+    machine_ratio = base_cal / cur_cal  # >1: this machine is faster
+    ok = True
+    lines: List[str] = []
+    for name, base in sorted(baseline.get("benches", {}).items()):
+        cur = current.get("benches", {}).get(name)
+        if cur is None:
+            continue
+        normalised = cur["per_op_us"] * machine_ratio
+        limit = base["per_op_us"] * (1.0 + tolerance)
+        regressed = normalised > limit
+        ok = ok and not regressed
+        lines.append(
+            f"  {name:<20} baseline {base['per_op_us']:9.3f} us/op   "
+            f"now {normalised:9.3f} us/op (normalised)   "
+            f"{'REGRESSED' if regressed else 'ok'}"
+        )
+    if verbose:
+        print(f"machine calibration ratio: {machine_ratio:.3f}")
+        for line in lines:
+            print(line)
+    return ok
+
+
+def write_baseline(doc: Dict[str, Any], path: str) -> None:
+    """Serialise a suite document as sorted, indented, newline-terminated
+    JSON (the committed-baseline format)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,54 @@
+"""``repro perf profile`` — run one exhibit under cProfile.
+
+Keeps the "where does the time go" loop to a single command::
+
+    python -m repro perf profile fig19 --fast --top 20
+    python -m repro perf profile fig04 --sort cumtime --out fig04.pstats
+
+The profile is printed as the top-N hotspots by ``tottime`` (default) or
+``cumtime``; ``--out`` additionally dumps the raw stats for ``snakeviz``
+or ``pstats`` post-processing.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Optional
+
+__all__ = ["profile_exhibit"]
+
+_SORT_KEYS = {"tottime", "cumtime", "ncalls"}
+
+
+def profile_exhibit(
+    exhibit_id: str,
+    seed: int = 1,
+    fast: bool = True,
+    top: int = 20,
+    sort: str = "tottime",
+    out: Optional[str] = None,
+) -> str:
+    """Run ``exhibit_id`` under cProfile, return the formatted hotspot table.
+
+    Raises ``KeyError`` for unknown exhibits (same contract as
+    ``repro run``).
+    """
+    from ..experiments.registry import get
+
+    if sort not in _SORT_KEYS:
+        raise ValueError(f"sort must be one of {sorted(_SORT_KEYS)}, got {sort!r}")
+    experiment = get(exhibit_id)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        experiment.run(seed=seed, fast=fast)
+    finally:
+        profiler.disable()
+    if out:
+        profiler.dump_stats(out)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return buffer.getvalue()

@@ -25,11 +25,24 @@ class FadingModel:
     def sample_db(self, rng: np.random.Generator) -> float:
         raise NotImplementedError
 
+    def max_gain_db(self) -> float:
+        """Largest dB offset :meth:`sample_db` can ever return.
+
+        Used by the medium's audible-set culling: a receiver whose mean RSS
+        plus this headroom still misses the delivery floor can be skipped
+        without changing any observable outcome.  Models with unbounded
+        support must return ``inf`` (which disables culling entirely).
+        """
+        return float("inf")
+
 
 class NoFading(FadingModel):
     """Deterministic channel: every packet sees exactly the mean RSS."""
 
     def sample_db(self, rng: np.random.Generator) -> float:
+        return 0.0
+
+    def max_gain_db(self) -> float:
         return 0.0
 
 
@@ -47,6 +60,12 @@ class LogNormalFading(FadingModel):
         creating physically absurd link budgets.
     """
 
+    #: Draws fetched from the generator per refill.  A scalar
+    #: ``Generator.normal`` call costs ~2 us of numpy dispatch; batching
+    #: amortises that to ~0.3 us/draw, which matters because fading is
+    #: sampled once per (transmission, audible receiver) pair.
+    BUFFER_DRAWS = 128
+
     def __init__(self, sigma_db: float = 4.0, clip_db: float = 12.0) -> None:
         if sigma_db < 0:
             raise ValueError(f"sigma_db must be >= 0, got {sigma_db}")
@@ -54,9 +73,36 @@ class LogNormalFading(FadingModel):
             raise ValueError(f"clip_db must be > 0, got {clip_db}")
         self.sigma_db = sigma_db
         self.clip_db = clip_db
+        #: Per-generator draw buffers: ``id(rng) -> [rng, draws, index]``.
+        #: The generator reference is stored in the value so the id can
+        #: never be recycled while its buffer is alive.
+        self._buffers: dict = {}
 
     def sample_db(self, rng: np.random.Generator) -> float:
         if self.sigma_db == 0.0:
             return 0.0
-        draw = rng.normal(0.0, self.sigma_db)
-        return float(np.clip(draw, -self.clip_db, self.clip_db))
+        # Buffered scalar draws.  ``standard_normal(n) * sigma`` consumes
+        # the generator's bit stream exactly as n successive
+        # ``normal(0, sigma)`` calls would and produces bit-identical
+        # doubles, so buffering is invisible to fixed-seed reproducibility
+        # (asserted by tests/phy/test_perf_layer.py).  Each per-link stream
+        # is drawn from *only* through this model, so read-ahead cannot
+        # interleave with other consumers.
+        entry = self._buffers.get(id(rng))
+        if entry is None or entry[2] >= self.BUFFER_DRAWS:
+            draws = (rng.standard_normal(self.BUFFER_DRAWS) * self.sigma_db).tolist()
+            entry = [rng, draws, 0]
+            self._buffers[id(rng)] = entry
+        index = entry[2]
+        draw = entry[1][index]
+        entry[2] = index + 1
+        # Branchy clipping: ~10x cheaper than np.clip on a scalar.
+        clip = self.clip_db
+        if draw > clip:
+            return clip
+        if draw < -clip:
+            return -clip
+        return draw
+
+    def max_gain_db(self) -> float:
+        return self.clip_db if self.sigma_db > 0.0 else 0.0

@@ -2,33 +2,65 @@
 
 The medium knows every radio, the path-loss model and the fading model.
 When a radio begins transmitting, the medium computes the received power at
-every other radio (path loss + per-packet fading), delivers a
+every *audible* radio (path loss + per-packet fading), delivers a
 ``signal start`` notification immediately and schedules the matching
 ``signal end``.  Radios decide for themselves what a signal means to them
 (lockable co-channel frame vs. inter-channel interference) — the medium is
 channel-agnostic and simply carries centre frequencies around.
 
+Performance architecture (see DESIGN.md §9)
+-------------------------------------------
+Node positions are static for the lifetime of a run, so the mean link
+budget between any two radios never changes.  :class:`LinkGainCache`
+exploits this twice:
+
+1. **mean-RSS memoisation** — the path-loss model is consulted once per
+   ``(source, receiver, tx power)`` triple instead of once per frame;
+2. **audible-set culling** — receivers whose *best-case* RSS (mean plus
+   the fading model's maximum possible gain, :meth:`FadingModel.max_gain_db`)
+   cannot clear ``delivery_floor_dbm`` are dropped from the fan-out list
+   entirely, so transmission cost scales with the number of audible
+   receivers, not with the size of the network.
+
+Culling is exact, not approximate: a culled receiver is one that could not
+have been delivered a signal under *any* fading draw, so the brute-force
+fan-out (``link_cache=False``) produces byte-identical results.  That
+guarantee requires fading draws to be independent per link, which is why
+fading uses **per-link RNG streams** (named ``fading.{src}.{dst}``) rather
+than one shared stream: skipping an inaudible link must not shift any other
+link's draw sequence.
+
 Event ordering: at identical timestamps, signal *ends* fire before signal
 *starts* (priority 0 vs 1) so that back-to-back transmissions do not appear
-to overlap for an instant.
+to overlap for an instant.  All per-receiver end notifications of one
+transmission are delivered by a single batched event (they are scheduled
+consecutively, so batching preserves the total order).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..sim.rng import RngStreams
 from ..sim.simulator import Simulator
-from ..sim.units import dbm_to_mw
 from .fading import FadingModel, NoFading
 from .frame import Frame
 from .propagation import PathLossModel
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from .radio import Radio
 
-__all__ = ["Transmission", "Signal", "Medium", "PRIORITY_SIGNAL_END", "PRIORITY_SIGNAL_START"]
+__all__ = [
+    "Transmission",
+    "Signal",
+    "Medium",
+    "LinkGainCache",
+    "PRIORITY_SIGNAL_END",
+    "PRIORITY_SIGNAL_START",
+]
 
 PRIORITY_SIGNAL_END = 0
 PRIORITY_SIGNAL_START = 1
@@ -51,18 +83,35 @@ class Transmission:
 
 
 class Signal:
-    """A transmission as observed by one receiver (with its own RSS)."""
+    """A transmission as observed by one receiver (with its own RSS).
 
-    __slots__ = ("transmission", "rx_power_dbm", "rx_power_mw")
+    ``decode_mw`` / ``sense_mw`` are the receiver-cached post-mask
+    contributions of this signal to the decode-path and sensing-path
+    in-channel power sums (set by :meth:`Radio._add_signal`); caching them
+    here makes the incremental power accumulators O(1) per probe.
+    """
+
+    __slots__ = (
+        "transmission",
+        "rx_power_dbm",
+        "rx_power_mw",
+        "channel_mhz",
+        "decode_mw",
+        "sense_mw",
+    )
 
     def __init__(self, transmission: Transmission, rx_power_dbm: float) -> None:
         self.transmission = transmission
         self.rx_power_dbm = rx_power_dbm
-        self.rx_power_mw = dbm_to_mw(rx_power_dbm)
-
-    @property
-    def channel_mhz(self) -> float:
-        return self.transmission.channel_mhz
+        # Inlined dbm_to_mw (same expression, bit for bit): one Signal is
+        # built per (transmission, audible receiver) pair, so the
+        # function-call overhead is hot.
+        self.rx_power_mw = 10.0 ** (rx_power_dbm / 10.0)
+        # Copied out of the transmission: read on every mask-gain lookup
+        # and co-channel check, where a property indirection is measurable.
+        self.channel_mhz = transmission.channel_mhz
+        self.decode_mw = 0.0
+        self.sense_mw = 0.0
 
     @property
     def frame(self) -> Frame:
@@ -73,6 +122,60 @@ class Signal:
             f"<Signal frame={self.frame.frame_id} ch={self.channel_mhz} MHz "
             f"rss={self.rx_power_dbm:.1f} dBm>"
         )
+
+
+#: One audible-set entry: (receiver, mean RSS at the receiver in dBm,
+#: the per-link fading stream).
+AudibleEntry = Tuple["Radio", float, "np.random.Generator"]
+
+
+class LinkGainCache:
+    """Precomputed static link budgets and per-source audible sets.
+
+    Built lazily: the audible set for a ``(source, tx_power)`` pair is
+    computed on its first transmission and reused for every subsequent
+    frame.  Registering a new radio invalidates all audible sets (the new
+    radio may be audible to existing sources); moving a radio requires an
+    explicit :meth:`invalidate` (positions are assumed static).
+    """
+
+    __slots__ = ("_medium", "_audible")
+
+    def __init__(self, medium: "Medium") -> None:
+        self._medium = medium
+        self._audible: Dict[Tuple[int, float], List[AudibleEntry]] = {}
+
+    def invalidate(self) -> None:
+        """Drop every cached audible set (e.g. after a position change)."""
+        self._audible.clear()
+
+    def audible_entries(self, source: "Radio", tx_power_dbm: float) -> List[AudibleEntry]:
+        """Receivers that can possibly hear ``source`` at ``tx_power_dbm``."""
+        key = (id(source), tx_power_dbm)
+        entries = self._audible.get(key)
+        if entries is None:
+            entries = self._build(source, tx_power_dbm)
+            self._audible[key] = entries
+        return entries
+
+    def _build(self, source: "Radio", tx_power_dbm: float) -> List[AudibleEntry]:
+        medium = self._medium
+        path_loss = medium.path_loss
+        floor = medium.delivery_floor_dbm
+        headroom = medium.fading.max_gain_db()
+        entries: List[AudibleEntry] = []
+        for radio in medium._radios:
+            if radio is source:
+                continue
+            mean_rss = path_loss.received_power_dbm(
+                tx_power_dbm, source.position, radio.position
+            )
+            if mean_rss + headroom < floor:
+                continue  # inaudible under any fading draw: cull
+            entries.append(
+                (radio, mean_rss, medium.link_fading_stream(source, radio))
+            )
+        return entries
 
 
 class Medium:
@@ -87,11 +190,16 @@ class Medium:
     fading:
         Per-packet variation model (defaults to none).
     rng:
-        Named RNG streams; fading draws come from the ``"fading"`` stream.
+        Named RNG streams; fading draws come from per-link streams named
+        ``fading.{source}.{receiver}``.
     delivery_floor_dbm:
         Signals below this received power are not delivered at all (they
         would be ~20 dB under the noise floor); keeps event counts linear in
         the number of *audible* receivers.
+    link_cache:
+        When ``True`` (the default) fan-out uses the
+        :class:`LinkGainCache` audible sets; ``False`` forces the
+        brute-force all-radios scan (reference path for exactness tests).
     """
 
     def __init__(
@@ -101,6 +209,7 @@ class Medium:
         fading: Optional[FadingModel] = None,
         rng: Optional[RngStreams] = None,
         delivery_floor_dbm: float = -115.0,
+        link_cache: bool = True,
     ) -> None:
         self.sim = sim
         self.path_loss = path_loss
@@ -108,20 +217,73 @@ class Medium:
         self.rng = rng if rng is not None else RngStreams(0)
         self.delivery_floor_dbm = delivery_floor_dbm
         self._radios: List["Radio"] = []
-        self._fading_stream = self.rng.stream("fading")
+        self._radio_ids: set = set()
+        self._radios_snapshot: Optional[Tuple["Radio", ...]] = None
+        self._gain_cache: Optional[LinkGainCache] = (
+            LinkGainCache(self) if link_cache else None
+        )
+        self._link_streams: Dict[Tuple[int, int], "np.random.Generator"] = {}
 
     # ------------------------------------------------------------------
     def register(self, radio: "Radio") -> None:
         """Add a radio to the medium.  Called by ``Radio.__init__``."""
-        if radio in self._radios:
+        if id(radio) in self._radio_ids:
             raise ValueError(f"radio {radio.name!r} registered twice")
+        self._radio_ids.add(id(radio))
         self._radios.append(radio)
+        self._radios_snapshot = None
+        if self._gain_cache is not None:
+            # The new radio may be audible to already-cached sources.
+            self._gain_cache.invalidate()
 
     @property
-    def radios(self) -> List["Radio"]:
-        return list(self._radios)
+    def radios(self) -> Tuple["Radio", ...]:
+        """All registered radios (immutable snapshot, cached between
+        registrations so hot loops do not copy the list on every access)."""
+        snapshot = self._radios_snapshot
+        if snapshot is None:
+            snapshot = self._radios_snapshot = tuple(self._radios)
+        return snapshot
+
+    def invalidate_link_cache(self) -> None:
+        """Drop cached link budgets after a radio position change."""
+        if self._gain_cache is not None:
+            self._gain_cache.invalidate()
+
+    def link_fading_stream(
+        self, source: "Radio", receiver: "Radio"
+    ) -> "np.random.Generator":
+        """The per-link fading stream for ``source`` → ``receiver``.
+
+        Keyed on the radio names so a fixed seed reproduces the same draw
+        sequence regardless of registration order, culling, or how many
+        other links exist.
+        """
+        key = (id(source), id(receiver))
+        stream = self._link_streams.get(key)
+        if stream is None:
+            stream = self.rng.stream(f"fading.{source.name}.{receiver.name}")
+            self._link_streams[key] = stream
+        return stream
 
     # ------------------------------------------------------------------
+    def _audible_entries(
+        self, source: "Radio", tx_power_dbm: float
+    ) -> List[AudibleEntry]:
+        if self._gain_cache is not None:
+            return self._gain_cache.audible_entries(source, tx_power_dbm)
+        # Reference path: consult the path-loss model for every radio.
+        path_loss = self.path_loss
+        entries: List[AudibleEntry] = []
+        for radio in self._radios:
+            if radio is source:
+                continue
+            mean_rss = path_loss.received_power_dbm(
+                tx_power_dbm, source.position, radio.position
+            )
+            entries.append((radio, mean_rss, self.link_fading_stream(source, radio)))
+        return entries
+
     def begin_transmission(
         self,
         source: "Radio",
@@ -136,42 +298,52 @@ class Medium:
         told the signal ended (same timestamp, later priority ordering is
         guaranteed by scheduling receiver ends first).
         """
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
+        airtime = frame.airtime_s
         transmission = Transmission(
             source=source,
             frame=frame,
             channel_mhz=channel_mhz,
             tx_power_dbm=tx_power_dbm,
             start_time=now,
-            end_time=now + frame.airtime_s,
+            end_time=now + airtime,
         )
-        self.sim.trace.emit(
-            "tx_start",
-            source=source.name,
-            frame=frame.frame_id,
-            channel=channel_mhz,
-            power=tx_power_dbm,
-            airtime=frame.airtime_s,
-        )
-        for radio in self._radios:
-            if radio is source:
-                continue
-            mean_rss = self.path_loss.received_power_dbm(
-                tx_power_dbm, source.position, radio.position
+        trace = sim.trace
+        if trace.enabled:
+            trace.emit(
+                "tx_start",
+                source=source.name,
+                frame=frame.frame_id,
+                channel=channel_mhz,
+                power=tx_power_dbm,
+                airtime=airtime,
             )
-            rss = mean_rss + self.fading.sample_db(self._fading_stream)
-            if rss < self.delivery_floor_dbm:
+        floor = self.delivery_floor_dbm
+        fading = self.fading
+        delivered: List[Tuple["Radio", Signal]] = []
+        for radio, mean_rss, stream in self._audible_entries(source, tx_power_dbm):
+            rss = mean_rss + fading.sample_db(stream)
+            if rss < floor:
                 continue
             signal = Signal(transmission, rss)
             radio.on_signal_start(signal)
-            self.sim.schedule(
-                frame.airtime_s,
-                lambda r=radio, s=signal: r.on_signal_end(s),
-                priority=PRIORITY_SIGNAL_END,
-                tag="signal_end",
+            delivered.append((radio, signal))
+        if delivered:
+            # One batched end event for the whole fan-out: the per-receiver
+            # notifications would have been scheduled consecutively (same
+            # time, same priority, adjacent sequence numbers), so invoking
+            # them in order from a single event preserves the total order
+            # while keeping heap traffic O(1) per transmission.
+            def _end_all() -> None:
+                for radio, signal in delivered:
+                    radio.on_signal_end(signal)
+
+            sim.schedule(
+                airtime, _end_all, priority=PRIORITY_SIGNAL_END, tag="signal_end"
             )
-        self.sim.schedule(
-            frame.airtime_s,
+        sim.schedule(
+            airtime,
             lambda: on_complete(transmission),
             priority=PRIORITY_SIGNAL_END + 1,
             tag="tx_end",

@@ -104,6 +104,16 @@ class Radio:
         self.current_reception: Optional[Reception] = None
         self._frame_listeners: List[FrameListener] = []
         self._noise_mw = dbm_to_mw(self.config.noise_floor_dbm)
+        #: Memoised per-offset linear gains: signal centre frequency ->
+        #: ``(decode_gain, sense_gain)``.  Channel offsets form a small
+        #: discrete set, so the mask curves are evaluated once per offset
+        #: instead of once per probe.
+        self._gain_memo: dict = {}
+        #: Running sensing-path interference sum (mW, excludes noise).
+        #: Maintained incrementally by :meth:`_add_signal` /
+        #: :meth:`_remove_signal`; reset exactly on removal so float drift
+        #: cannot accumulate.
+        self._sense_sum_mw = 0.0
         self.energy = EnergyAccumulator(tx_power_dbm=tx_power_dbm)
         #: Step history of the sensing-path power: ``(time, power_mw)``
         #: entries meaning "sensed power became power_mw at time".  Feeds
@@ -119,16 +129,66 @@ class Radio:
         self._frame_listeners.append(listener)
 
     def _dispatch_reception(self, outcome: FrameReception) -> None:
-        self.sim.trace.emit(
-            "rx_done",
-            radio=self.name,
-            frame=outcome.frame.frame_id,
-            crc=outcome.crc_ok,
-            rssi=round(outcome.rssi_dbm, 2),
-            errors=outcome.errored_bits,
-        )
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                "rx_done",
+                radio=self.name,
+                frame=outcome.frame.frame_id,
+                crc=outcome.crc_ok,
+                rssi=round(outcome.rssi_dbm, 2),
+                errors=outcome.errored_bits,
+            )
         for listener in self._frame_listeners:
             listener(outcome)
+
+    # ------------------------------------------------------------------
+    # Signal bookkeeping (incremental power accumulators)
+    # ------------------------------------------------------------------
+    def _gains_for(self, channel_mhz: float) -> tuple:
+        """Linear ``(decode, sense)`` gains for a signal at ``channel_mhz``."""
+        gains = self._gain_memo.get(channel_mhz)
+        if gains is None:
+            offset = channel_mhz - self.channel_mhz
+            gains = (
+                10.0 ** (-self.mask.leakage_db(offset) / 10.0),
+                10.0 ** (-self.cca_mask.leakage_db(offset) / 10.0),
+            )
+            self._gain_memo[channel_mhz] = gains
+        return gains
+
+    def _add_signal(self, signal: Signal) -> None:
+        """Start tracking ``signal``: cache its post-mask contributions,
+        fold them into the running sensing-path sum (O(1)) and step the
+        RSSI-register history."""
+        decode_gain, sense_gain = self._gains_for(signal.channel_mhz)
+        signal.decode_mw = signal.rx_power_mw * decode_gain
+        signal.sense_mw = signal.rx_power_mw * sense_gain
+        self.active_signals.append(signal)
+        self._sense_sum_mw += signal.sense_mw
+        self._sense_history.append(
+            (self.sim.now, self._noise_mw + self._sense_sum_mw)
+        )
+
+    def _remove_signal(self, signal: Signal) -> None:
+        """Stop tracking ``signal`` and rebuild the sensing-path sum.
+
+        The rebuild is a plain sum over the (short) remaining list of
+        already-cached floats: this keeps removal cheap while making the
+        running sum *exactly* equal to a fresh brute-force re-summation —
+        no incremental subtraction, hence no cancellation drift.
+        """
+        self.active_signals.remove(signal)
+        signals = self.active_signals
+        if signals:
+            total = 0.0
+            for s in signals:
+                total += s.sense_mw
+            self._sense_sum_mw = total
+        else:
+            self._sense_sum_mw = 0.0
+        self._sense_history.append(
+            (self.sim.now, self._noise_mw + self._sense_sum_mw)
+        )
 
     # ------------------------------------------------------------------
     # Sensing
@@ -137,26 +197,24 @@ class Radio:
         """Decode-path in-channel power (mW) including the noise floor.
 
         Each active signal is attenuated by the demodulator-coupling mask
-        according to its centre-frequency offset from this radio's channel.
-        This is the interference term of reception SINR.
+        according to its centre-frequency offset from this radio's channel
+        (contribution cached at signal start).  This is the interference
+        term of reception SINR.
         """
         total = self._noise_mw
         for signal in self.active_signals:
             if signal is exclude:
                 continue
-            leakage_db = self.mask.leakage_db(signal.channel_mhz - self.channel_mhz)
-            total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
+            total += signal.decode_mw
         return total
 
     def sensed_power_mw(self) -> float:
-        """Sensing-path in-channel power (mW): what CCA/RSSI measures."""
-        total = self._noise_mw
-        for signal in self.active_signals:
-            leakage_db = self.cca_mask.leakage_db(
-                signal.channel_mhz - self.channel_mhz
-            )
-            total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
-        return total
+        """Sensing-path in-channel power (mW): what CCA/RSSI measures.
+
+        O(1): the per-signal contributions are accumulated incrementally as
+        signals start and end rather than re-summed on every probe.
+        """
+        return self._noise_mw + self._sense_sum_mw
 
     def sense_power_dbm(self) -> float:
         """Instantaneous sensed power in dBm."""
@@ -188,7 +246,14 @@ class Radio:
         return mw_to_dbm(total / window_s)
 
     def _record_sense_change(self) -> None:
-        self._sense_history.append((self.sim.now, self.sensed_power_mw()))
+        """Append the current sensed level to the RSSI-register history.
+
+        Signal start/end bookkeeping records steps inline; this helper
+        remains for explicit re-synchronisation (e.g. after a config
+        change in tests)."""
+        self._sense_history.append(
+            (self.sim.now, self._noise_mw + self._sense_sum_mw)
+        )
 
     def cca_busy(self, threshold_dbm: float) -> bool:
         """Energy-detection CCA: busy when in-channel power > threshold."""
@@ -214,7 +279,8 @@ class Radio:
         if self.current_reception is not None:
             self.current_reception.abort()
             self.current_reception = None
-            self.sim.trace.emit("rx_aborted_by_tx", radio=self.name)
+            if self.sim.trace.enabled:
+                self.sim.trace.emit("rx_aborted_by_tx", radio=self.name)
         self.state = RadioState.TX
         self.energy.transition("tx", self.sim.now)
 
@@ -235,11 +301,9 @@ class Radio:
             # Close the elapsed segment under the *old* interference set
             # before the new signal starts counting.
             self.current_reception.on_interference_change()
-            self.active_signals.append(signal)
-            self._record_sense_change()
+            self._add_signal(signal)
             return
-        self.active_signals.append(signal)
-        self._record_sense_change()
+        self._add_signal(signal)
         if self.state is not RadioState.IDLE:
             return
         if not self._is_co_channel(signal):
@@ -247,17 +311,19 @@ class Radio:
         if signal.rx_power_dbm < self.config.sensitivity_dbm:
             return
         if self._lock_sinr_db(signal) < self.config.capture_threshold_db:
-            self.sim.trace.emit(
-                "preamble_missed",
-                radio=self.name,
-                frame=signal.frame.frame_id,
-                rssi=round(signal.rx_power_dbm, 2),
-            )
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    "preamble_missed",
+                    radio=self.name,
+                    frame=signal.frame.frame_id,
+                    rssi=round(signal.rx_power_dbm, 2),
+                )
             return
         self.current_reception = Reception(self, signal, self._bit_rng)
-        self.sim.trace.emit(
-            "rx_lock", radio=self.name, frame=signal.frame.frame_id
-        )
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                "rx_lock", radio=self.name, frame=signal.frame.frame_id
+            )
 
     def on_signal_end(self, signal: Signal) -> None:
         reception = self.current_reception
@@ -267,16 +333,14 @@ class Radio:
             # "active minus itself" — remove it afterwards.
             outcome = reception.finalize()
             self.current_reception = None
-            self.active_signals.remove(signal)
-            self._record_sense_change()
+            self._remove_signal(signal)
             self._dispatch_reception(outcome)
             return
         if self.current_reception is not None:
             # Close the elapsed segment while the ending signal still
             # counts as interference.
             self.current_reception.on_interference_change()
-        self.active_signals.remove(signal)
-        self._record_sense_change()
+        self._remove_signal(signal)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -85,12 +85,21 @@ class Reception:
         self._segment_start = now
         if duration <= 0.0:
             return
-        n_bits = int(round(duration * self.bit_rate_bps))
+        # Account bits against the *frame timeline*, not per segment:
+        # rounding each segment independently lets fractional bits drift
+        # (over- or under-counting the frame total when interference
+        # changes many times mid-frame).  Instead, each segment samples
+        # exactly the bits between the rounded cumulative elapsed-bit
+        # counts, so the sampled total of a completed frame always equals
+        # round(airtime * bit_rate) — the frame's true on-air bit length.
+        elapsed = now - self.start_time
+        cumulative_bits = int(round(elapsed * self.bit_rate_bps))
+        n_bits = cumulative_bits - self.sampled_bits
         if n_bits <= 0:
             return
         sinr_db = self._current_sinr_db()
         ber = self.ber_model(sinr_db)
-        self.sampled_bits += n_bits
+        self.sampled_bits = cumulative_bits
         if ber > 0.0:
             self.errored_bits += int(self.rng.binomial(n_bits, min(ber, 1.0)))
 

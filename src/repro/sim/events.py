@@ -7,7 +7,11 @@ keeps runs bit-reproducible for a fixed seed.
 
 Cancellation is *lazy*: cancelled events stay in the heap but are skipped when
 popped.  This keeps cancellation O(1), which matters because CSMA backoff and
-reception bookkeeping cancel events constantly.
+reception bookkeeping cancel events constantly.  To stop cancelled entries
+from bloating the heap (and taxing every subsequent push/pop with extra
+comparisons), the queue *compacts* itself whenever more than half of a
+non-trivial heap is dead: live events are filtered out and re-heapified,
+which preserves the total ``(time, priority, seq)`` order exactly.
 """
 
 from __future__ import annotations
@@ -60,11 +64,14 @@ class Event:
         return self._cancelled
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        # Tuple-free: this comparator runs O(n log n) times per simulation
+        # inside heappush/heappop, and building two throwaway tuples per
+        # call measurably shows up in kernel profiles.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else "pending"
@@ -100,14 +107,32 @@ class EventQueue:
         self._live += 1
         return event
 
+    #: Heaps smaller than this are never compacted (not worth the filter).
+    COMPACT_MIN_SIZE = 64
+
     def cancel(self, event: Event) -> None:
         """Cancel an event previously returned by :meth:`push`.
 
         Cancelling an already-cancelled or already-fired event is a no-op.
+        When the cancelled fraction of the heap exceeds one half, the heap
+        is compacted (dead entries dropped, then re-heapified).
         """
         if not event.cancelled:
             event.cancel()
             self._live -= 1
+            heap_size = len(self._heap)
+            if heap_size > self.COMPACT_MIN_SIZE and self._live < (heap_size >> 1):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        Ordering is untouched: the heap property is re-established over the
+        same total order (``Event.__lt__``), so the pop sequence of live
+        events is identical before and after compaction.
+        """
+        self._heap = [event for event in self._heap if not event._cancelled]
+        heapq.heapify(self._heap)
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
@@ -123,6 +148,26 @@ class EventQueue:
                 self._live -= 1
                 return event
         raise IndexError("pop from empty EventQueue")
+
+    def pop_due(self, until: float) -> Optional[Event]:
+        """Pop the earliest live event at or before ``until``, else ``None``.
+
+        Fuses the ``peek_time`` + ``pop`` pair the kernel run loop would
+        otherwise perform, halving the per-event queue overhead on the
+        hottest loop in the simulator.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head._cancelled:
+                heapq.heappop(heap)
+                continue
+            if head.time > until:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return head
+        return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or ``None`` if empty."""

@@ -29,7 +29,11 @@ class Simulator:
     """
 
     def __init__(self, trace: Optional[Trace] = None) -> None:
-        self._now = 0.0
+        #: Current simulation time in seconds.  A plain attribute rather
+        #: than a property: it is read on every event dispatch and inside
+        #: every PHY/MAC hot path, where descriptor overhead is measurable.
+        #: Only the kernel writes it.
+        self.now = 0.0
         self._queue = EventQueue()
         self._running = False
         self.trace = trace if trace is not None else Trace(enabled=False)
@@ -37,11 +41,6 @@ class Simulator:
     # ------------------------------------------------------------------
     # Clock and scheduling
     # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
-
     def schedule(
         self,
         delay: float,
@@ -52,7 +51,7 @@ class Simulator:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} s in the past")
-        return self._queue.push(self._now + delay, callback, priority, tag)
+        return self._queue.push(self.now + delay, callback, priority, tag)
 
     def schedule_at(
         self,
@@ -62,9 +61,9 @@ class Simulator:
         tag: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time} s; clock already at {self._now} s"
+                f"cannot schedule at {time} s; clock already at {self.now} s"
             )
         return self._queue.push(time, callback, priority, tag)
 
@@ -81,22 +80,22 @@ class Simulator:
         The clock is left exactly at ``until`` even if the queue drains
         earlier, so back-to-back ``run`` calls compose naturally.
         """
-        if until < self._now:
+        if until < self.now:
             raise SimulationError(
-                f"run until {until} s is in the past (now {self._now} s)"
+                f"run until {until} s is in the past (now {self.now} s)"
             )
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
+            queue = self._queue
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > until:
+                event = queue.pop_due(until)
+                if event is None:
                     break
-                event = self._queue.pop()
-                self._now = event.time
+                self.now = event.time
                 event.callback()
-            self._now = until
+            self.now = until
         finally:
             self._running = False
 
@@ -106,16 +105,16 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                assert next_time is not None
-                if max_time is not None and next_time > max_time:
+            queue = self._queue
+            horizon = float("inf") if max_time is None else max_time
+            while queue:
+                event = queue.pop_due(horizon)
+                if event is None:
                     break
-                event = self._queue.pop()
-                self._now = event.time
+                self.now = event.time
                 event.callback()
-            if max_time is not None and self._now < max_time and not self._queue:
-                self._now = max_time
+            if max_time is not None and self.now < max_time and not self._queue:
+                self.now = max_time
         finally:
             self._running = False
 

@@ -43,7 +43,13 @@ class Trace:
         self._clock = clock
 
     def emit(self, kind: str, **fields: Any) -> None:
-        """Record one event (no-op when disabled)."""
+        """Record one event (no-op when disabled).
+
+        Hot paths should guard the call with ``if trace.enabled:`` — that
+        makes a disabled trace genuinely zero-cost, because even reaching
+        this early-out requires Python to build the ``fields`` kwargs dict
+        and execute a call frame.
+        """
         if not self.enabled:
             return
         self.counters[kind] += 1

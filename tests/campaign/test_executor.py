@@ -203,6 +203,20 @@ def test_real_exhibit_identical_across_jobs():
                 == pooled.outcome("fig29", seed).table.to_json())
 
 
+@pytest.mark.slow
+def test_fading_exhibit_identical_across_jobs():
+    """fig04 is the fading-dominated exhibit (per-packet log-normal draws on
+    every link): per-link fading RNG streams must keep its fixed-seed
+    results byte-identical regardless of worker-pool parallelism."""
+    spec = CampaignSpec.make(ids=["fig04"], seeds=[1, 2], fast=True)
+    inline = run_campaign(spec, jobs=1, cache=False)
+    pooled = run_campaign(spec, jobs=4, cache=False)
+    assert inline.ok and pooled.ok
+    for seed in (1, 2):
+        assert (inline.outcome("fig04", seed).table.to_json()
+                == pooled.outcome("fig04", seed).table.to_json())
+
+
 def test_campaign_result_aggregated_helper():
     result = run_campaign(specs(("a", 1), ("a", 2)), cache=False,
                           runner=fake_runner)

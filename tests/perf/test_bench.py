@@ -1,0 +1,119 @@
+"""Tests for the kernel benchmark suite and its CI regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BEFORE_OPTIMISATION,
+    calibrate,
+    check_against_baseline,
+    load_baseline,
+    run_bench_suite,
+    write_baseline,
+)
+
+QUICK_BENCHES = {
+    "event_queue",
+    "event_cancel_churn",
+    "medium_fanout",
+    "cca_probe",
+    "cca_probe_brute",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    """One quick suite run shared by every test in this module."""
+    return run_bench_suite(quick=True, verbose=False)
+
+
+def test_suite_document_structure(quick_doc):
+    assert quick_doc["schema"] == 1
+    assert quick_doc["quick"] is True
+    assert quick_doc["calibration_s"] > 0.0
+    assert set(quick_doc["benches"]) == QUICK_BENCHES  # fig19 skipped in quick
+    for name, result in quick_doc["benches"].items():
+        assert result["wall_s"] > 0.0, name
+        assert result["n"] > 0, name
+        assert result["per_op_us"] == pytest.approx(
+            result["wall_s"] / result["n"] * 1e6
+        )
+    assert quick_doc["before"] == BEFORE_OPTIMISATION
+
+
+def test_cca_probe_speedup_meets_acceptance_floor(quick_doc):
+    """ISSUE acceptance: the incremental sensing-path probe must be at
+    least 5x faster than the brute-force re-summation it replaced."""
+    assert quick_doc["derived"]["cca_probe_speedup"] >= 5.0
+
+
+def test_baseline_roundtrip(tmp_path, quick_doc):
+    path = tmp_path / "BENCH_kernel.json"
+    write_baseline(quick_doc, str(path))
+    loaded = load_baseline(str(path))
+    assert loaded["benches"].keys() == quick_doc["benches"].keys()
+    assert loaded["calibration_s"] == quick_doc["calibration_s"]
+    # The file is committed, so keep it diff-friendly.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == loaded
+
+
+def test_check_against_own_baseline_passes(quick_doc):
+    assert check_against_baseline(quick_doc, quick_doc, verbose=False)
+
+
+def test_check_detects_regression(quick_doc):
+    baseline = copy.deepcopy(quick_doc)
+    for result in baseline["benches"].values():
+        result["per_op_us"] /= 2.0  # pretend the past was twice as fast
+    assert not check_against_baseline(quick_doc, baseline, verbose=False)
+
+
+def test_check_tolerance_allows_bounded_drift(quick_doc):
+    baseline = copy.deepcopy(quick_doc)
+    for result in baseline["benches"].values():
+        result["per_op_us"] /= 1.10  # +10% drift, inside the 25% gate
+    assert check_against_baseline(quick_doc, baseline, tolerance=0.25,
+                                  verbose=False)
+    assert not check_against_baseline(quick_doc, baseline, tolerance=0.05,
+                                      verbose=False)
+
+
+def test_check_normalises_by_machine_calibration(quick_doc):
+    """A slower machine (larger calibration time) must not flag a
+    regression: per-op times are scaled by the calibration ratio."""
+    baseline = copy.deepcopy(quick_doc)
+    # Baseline machine was 3x faster than us at plain Python, and its
+    # benches were 3x faster too: after normalisation that is a wash.
+    baseline["calibration_s"] = quick_doc["calibration_s"] / 3.0
+    for result in baseline["benches"].values():
+        result["per_op_us"] /= 3.0
+    assert check_against_baseline(quick_doc, baseline, verbose=False)
+
+
+def test_check_skips_unknown_benchmarks(quick_doc):
+    baseline = copy.deepcopy(quick_doc)
+    baseline["benches"]["retired_bench"] = {"per_op_us": 1e-9, "wall_s": 1.0,
+                                            "n": 1}
+    assert check_against_baseline(quick_doc, baseline, verbose=False)
+
+
+def test_calibration_is_positive_and_repeatable():
+    a = calibrate(rounds=1)
+    b = calibrate(rounds=1)
+    assert a > 0.0 and b > 0.0
+    assert max(a, b) / min(a, b) < 10.0  # same machine, same ballpark
+
+
+def test_committed_baseline_is_loadable_and_current():
+    """The repository ships a BENCH_kernel.json the CI gate compares
+    against; it must parse and cover the quick-suite benchmarks."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "BENCH_kernel.json"
+    baseline = load_baseline(str(path))
+    assert QUICK_BENCHES <= set(baseline["benches"])
+    assert baseline["calibration_s"] > 0.0

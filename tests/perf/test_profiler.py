@@ -1,0 +1,73 @@
+"""Tests for ``repro perf profile`` and the perf CLI plumbing."""
+
+import pstats
+
+import pytest
+
+from repro.__main__ import main
+from repro.perf import profile_exhibit
+
+
+def test_profile_exhibit_returns_hotspot_table():
+    report = profile_exhibit("fig29", seed=1, fast=True, top=5)
+    assert "function calls" in report
+    assert "cumtime" in report  # pstats header
+    # The hotspots are the repro package's own code, not the harness.
+    assert "repro" in report
+
+
+def test_profile_exhibit_dumps_raw_stats(tmp_path):
+    out = tmp_path / "fig29.pstats"
+    profile_exhibit("fig29", fast=True, top=3, out=str(out))
+    stats = pstats.Stats(str(out))  # parses -> it is a valid pstats dump
+    assert stats.total_calls > 0
+
+
+def test_profile_exhibit_rejects_bad_sort():
+    with pytest.raises(ValueError, match="sort"):
+        profile_exhibit("fig29", sort="wallclock")
+
+
+def test_profile_exhibit_unknown_exhibit_raises_keyerror():
+    with pytest.raises(KeyError):
+        profile_exhibit("fig999")
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def test_cli_perf_profile_unknown_exhibit_exits_2(capsys):
+    assert main(["perf", "profile", "fig999"]) == 2
+    assert "fig999" in capsys.readouterr().err
+
+
+def test_cli_perf_profile_smoke(capsys):
+    assert main(["perf", "profile", "fig29", "--fast", "--top", "3"]) == 0
+    assert "function calls" in capsys.readouterr().out
+
+
+def test_cli_perf_bench_missing_baseline_exits_2(tmp_path, capsys):
+    code = main([
+        "perf", "bench", "--quick",
+        "--check", str(tmp_path / "nope.json"),
+    ])
+    assert code == 2
+    assert "not found" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_cli_perf_bench_check_against_fresh_baseline(tmp_path, capsys):
+    """Write a quick baseline, then gate a second run against it.
+
+    The generous ``--tolerance`` is deliberate: this asserts the CLI
+    plumbing (write -> load -> compare -> exit code), not machine speed —
+    the test box may be under arbitrary load from parallel test workers.
+    """
+    out = tmp_path / "baseline.json"
+    assert main(["perf", "bench", "--quick", "--out", str(out)]) == 0
+    assert out.exists()
+    assert main([
+        "perf", "bench", "--quick", "--check", str(out),
+        "--tolerance", "5.0",
+    ]) == 0
+    assert "within tolerance" in capsys.readouterr().out

@@ -88,6 +88,80 @@ def test_pop_sequence_is_sorted(times):
     assert len(popped) == len(times)
 
 
+def test_compaction_shrinks_heap_when_mostly_cancelled():
+    """Heavy cancellation must not bloat the heap: once more than half of a
+    non-trivial heap is dead it is compacted in place."""
+    queue = EventQueue()
+    events = [queue.push(float(i % 97), lambda: None) for i in range(1000)]
+    for event in events[100:]:
+        queue.cancel(event)
+    assert len(queue) == 100
+    # Compaction keeps the dead fraction bounded: the heap never holds more
+    # than ~2x the live events (it would hold all 1000 without compaction).
+    assert len(queue._heap) <= 2 * len(queue) + EventQueue.COMPACT_MIN_SIZE
+
+
+def test_compaction_preserves_pop_order():
+    queue = EventQueue()
+    live_times = []
+    events = []
+    for i in range(500):
+        t = (i * 37) % 101 + (i % 3) * 0.25
+        events.append((t, queue.push(float(t), lambda: None)))
+    for index, (t, event) in enumerate(events):
+        if index % 5:  # cancel 80%: triggers compaction several times
+            queue.cancel(event)
+        else:
+            live_times.append(t)
+    popped = []
+    while queue:
+        popped.append(queue.pop().time)
+    assert popped == sorted(live_times)
+
+
+def test_small_heaps_are_never_compacted():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10)]
+    for event in events[1:]:
+        queue.cancel(event)
+    # Below COMPACT_MIN_SIZE the dead entries are left for lazy pop-skip.
+    assert len(queue._heap) == 10
+    assert len(queue) == 1
+
+
+def test_pop_due_returns_events_up_to_horizon():
+    queue = EventQueue()
+    queue.push(1.0, lambda: "a")
+    queue.push(2.0, lambda: "b")
+    queue.push(3.0, lambda: "c")
+    assert queue.pop_due(2.5).time == 1.0
+    assert queue.pop_due(2.5).time == 2.0
+    assert queue.pop_due(2.5) is None  # t=3 is beyond the horizon...
+    assert len(queue) == 1  # ...and stays queued
+    assert queue.pop_due(3.0).time == 3.0
+    assert queue.pop_due(10.0) is None  # empty queue
+
+
+def test_pop_due_skips_cancelled_head():
+    queue = EventQueue()
+    dead = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(dead)
+    event = queue.pop_due(5.0)
+    assert event.time == 2.0
+    assert queue.pop_due(5.0) is None
+
+
+def test_pop_due_respects_priority_and_fifo():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, priority=1, tag="late")
+    queue.push(1.0, lambda: None, priority=0, tag="first")
+    queue.push(1.0, lambda: None, priority=0, tag="second")
+    assert [queue.pop_due(1.0).tag for _ in range(3)] == [
+        "first", "second", "late",
+    ]
+
+
 @given(
     st.lists(
         st.tuples(st.floats(min_value=0.0, max_value=100.0), st.booleans()),

@@ -9,7 +9,7 @@ import repro
 
 def test_top_level_exposes_all_subpackages():
     for name in ("sim", "phy", "mac", "core", "net", "dot11", "experiments",
-                 "campaign"):
+                 "campaign", "perf"):
         assert hasattr(repro, name)
     assert repro.__version__
 
@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.dot11",
     "repro.experiments",
     "repro.campaign",
+    "repro.perf",
 ]
 
 
