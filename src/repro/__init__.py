@@ -14,21 +14,26 @@ The package implements, from scratch:
 - an experiment harness reproducing every table and figure of the paper's
   evaluation (:mod:`repro.experiments`),
 - a parallel experiment-campaign engine with result caching, retries and
-  per-seed aggregation (:mod:`repro.campaign`), and
-- kernel profiling / benchmark-regression tooling (:mod:`repro.perf`).
+  per-seed aggregation (:mod:`repro.campaign`),
+- kernel profiling / benchmark-regression tooling (:mod:`repro.perf`), and
+- a correctness layer: runtime invariants, a fast-vs-reference
+  differential oracle, and a determinism checker (:mod:`repro.check`).
 """
 
-from . import core, dot11, experiments, mac, net, phy, sim
+from . import check, core, dot11, experiments, mac, net, phy, sim
 
-# 0.2.0: PR-2 kernel performance layer.  Per-link fading RNG streams and
-# frame-timeline bit accounting change fixed-seed draw sequences, so the
-# version bump deliberately invalidates every `.repro-cache/` entry.
-__version__ = "0.2.0"
+# 0.3.0: correctness layer + bugfix sweep.  The adjustor now seeds the
+# Case-II window with initializing-phase observations and anchors its
+# history at construction time, and multi-seed CIs switched from normal
+# to Student-t — results change, so the version bump deliberately
+# invalidates every `.repro-cache/` entry.
+__version__ = "0.3.0"
 
 from . import campaign, perf  # noqa: E402  (the cache keys on __version__)
 
 __all__ = [
     "campaign",
+    "check",
     "core",
     "dot11",
     "experiments",

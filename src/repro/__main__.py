@@ -15,6 +15,11 @@
                                                # (writes BENCH_kernel.json)
     python -m repro perf bench --quick --check BENCH_kernel.json
                                                # CI regression gate
+    python -m repro check diff fig04 --fast    # fast path vs reference
+                                               # path, trace-diffed
+    python -m repro check determinism fig04 --fast --jobs 2
+                                               # same-seed replay + serial
+                                               # vs parallel campaign
 """
 
 from __future__ import annotations
@@ -188,6 +193,40 @@ def _cmd_perf_bench(args) -> int:
     return 0
 
 
+def _cmd_check_diff(args) -> int:
+    from .check.oracle import diff_exhibit
+
+    try:
+        report = diff_exhibit(
+            args.experiment,
+            seed=args.seed,
+            fast=args.fast,
+            invariants=not args.no_invariants,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_check_determinism(args) -> int:
+    from .check.determinism import check_determinism
+
+    try:
+        report = check_determinism(
+            args.experiment,
+            seed=args.seed,
+            fast=args.fast,
+            jobs=args.jobs,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -294,6 +333,38 @@ def main(argv=None) -> int:
                          help="allowed fractional wall-time regression "
                               "(default 0.25)")
     p_bench.set_defaults(func=_cmd_perf_bench)
+
+    check_parser = sub.add_parser(
+        "check", help="correctness oracles (diff, determinism)"
+    )
+    check_sub = check_parser.add_subparsers(dest="check_command", required=True)
+
+    k_diff = check_sub.add_parser(
+        "diff",
+        help="run one exhibit on the fast path and on the brute-force "
+             "reference path, then diff the traces event by event",
+    )
+    k_diff.add_argument("experiment", help="exhibit id, e.g. fig04")
+    k_diff.add_argument("--seed", type=int, default=1)
+    k_diff.add_argument("--fast", action="store_true")
+    k_diff.add_argument("--no-invariants", action="store_true",
+                        help="skip runtime invariant checking during the "
+                             "two runs")
+    k_diff.set_defaults(func=_cmd_check_diff)
+
+    k_det = check_sub.add_parser(
+        "determinism",
+        help="replay one exhibit twice with the same seed, and run it "
+             "serial vs parallel through the campaign engine; all result "
+             "JSON must be byte-identical",
+    )
+    k_det.add_argument("experiment", help="exhibit id, e.g. fig04")
+    k_det.add_argument("--seed", type=int, default=1)
+    k_det.add_argument("--fast", action="store_true")
+    k_det.add_argument("--jobs", type=int, default=2,
+                       help="parallel worker count for the campaign leg "
+                            "(default 2)")
+    k_det.set_defaults(func=_cmd_check_determinism)
 
     args = parser.parse_args(argv)
     return args.func(args)

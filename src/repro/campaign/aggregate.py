@@ -3,7 +3,7 @@
 A campaign runs every exhibit across N seeds; this module folds the N
 tables of one exhibit back into a single :class:`ResultTable` whose
 numeric cells are per-row means with a ``<col>_ci95`` companion column
-(normal 95 % confidence half-width, via
+(Student-t 95 % confidence half-width with n − 1 degrees of freedom, via
 :func:`repro.experiments.stats.summarize`).  Non-numeric cells (labels,
 channel names) must agree across seeds and are passed through.
 """
@@ -80,7 +80,10 @@ def aggregate_seeds(
     # Notes common to every seed stay; seed-specific ones are dropped.
     common = [n for n in first.notes if all(n in t.notes for t in tables[1:])]
     merged.notes = common
-    merged.add_note(f"mean ± 95% CI over {len(tables)} seeds")
+    merged.add_note(
+        f"mean ± 95% CI (Student-t, {len(tables) - 1} df) "
+        f"over {len(tables)} seeds"
+    )
     return merged
 
 

@@ -1,0 +1,142 @@
+"""Determinism checker: fixed seed ⇒ byte-identical results.
+
+The reproduction's contract (and the result cache's correctness) rests
+on two properties:
+
+1. **Replay** — running one exhibit twice at the same seed in the same
+   process produces byte-identical ``ResultTable`` JSON (no hidden
+   global state, no dict-ordering or id()-keyed behaviour leaks).
+2. **Parallel invariance** — running the same jobs through the
+   campaign engine with ``--jobs 1`` (inline) and ``--jobs N``
+   (process pool) produces byte-identical per-job JSON (results do not
+   depend on scheduling, worker reuse or pickling round-trips).
+
+``check_determinism`` verifies both and reports the first differing
+byte region when they fail.  Used by
+``python -m repro check determinism <exhibit>`` and the CI ``check``
+job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["DeterminismReport", "check_determinism"]
+
+
+def _first_difference(a: str, b: str, context: int = 40) -> str:
+    """Human-readable pointer at the first differing byte of two strings."""
+    limit = min(len(a), len(b))
+    index = next(
+        (i for i in range(limit) if a[i] != b[i]), limit
+    )
+    lo = max(0, index - context)
+    return (
+        f"first difference at byte {index}:\n"
+        f"    a[{lo}:{index + context}] = {a[lo:index + context]!r}\n"
+        f"    b[{lo}:{index + context}] = {b[lo:index + context]!r}"
+    )
+
+
+@dataclass
+class DeterminismReport:
+    """Outcome of one determinism check."""
+
+    exhibit_id: str
+    seed: int
+    fast_profile: bool
+    jobs: int
+    replay_ok: bool = True
+    jobs_ok: bool = True
+    json_bytes: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_ok and self.jobs_ok
+
+    def describe(self) -> str:
+        profile = "fast" if self.fast_profile else "paper"
+        lines = [
+            f"check determinism {self.exhibit_id} (seed {self.seed}, "
+            f"profile {profile}, jobs 1 vs {self.jobs})"
+        ]
+        lines.append(
+            f"  replay (same seed twice)        : "
+            f"{'byte-identical' if self.replay_ok else 'DIVERGED'} "
+            f"({self.json_bytes} JSON bytes)"
+        )
+        lines.append(
+            f"  campaign --jobs 1 vs --jobs {self.jobs}   : "
+            f"{'byte-identical' if self.jobs_ok else 'DIVERGED'}"
+        )
+        lines.extend(self.failures)
+        return "\n".join(lines)
+
+
+def check_determinism(
+    exhibit_id: str,
+    seed: int = 1,
+    fast: bool = True,
+    *,
+    jobs: int = 2,
+) -> DeterminismReport:
+    """Verify replay and parallel-execution determinism of one exhibit.
+
+    Runs the exhibit at ``seed`` and ``seed + 1`` (two jobs, so the
+    pool genuinely schedules work on distinct workers) through the
+    campaign engine with the result cache disabled.
+    """
+    from ..campaign import JobSpec, run_campaign
+    from ..experiments.registry import get
+
+    jobs = max(2, int(jobs))
+    report = DeterminismReport(exhibit_id, seed, fast, jobs)
+    experiment = get(exhibit_id)
+
+    # 1. replay: same seed twice, same process --------------------------
+    first = experiment.run(seed=seed, fast=fast).to_json()
+    second = experiment.run(seed=seed, fast=fast).to_json()
+    report.json_bytes = len(first)
+    if first != second:
+        report.replay_ok = False
+        report.failures.append(
+            "  replay divergence — " + _first_difference(first, second)
+        )
+
+    # 2. campaign engine: --jobs 1 vs --jobs N --------------------------
+    specs = [
+        JobSpec.make(exhibit_id, seed=s, fast=fast)
+        for s in (seed, seed + 1)
+    ]
+    inline = run_campaign(list(specs), jobs=1, cache=False)
+    pooled = run_campaign(list(specs), jobs=jobs, cache=False)
+    for spec in specs:
+        for label, result in (("jobs=1", inline), (f"jobs={jobs}", pooled)):
+            outcome = result.outcome(*spec.key)
+            if not outcome.ok:
+                report.jobs_ok = False
+                report.failures.append(
+                    f"  {spec} failed under {label}: {outcome.error}"
+                )
+    if report.jobs_ok:
+        for spec in specs:
+            a = inline.outcome(*spec.key).table.to_json()
+            b = pooled.outcome(*spec.key).table.to_json()
+            if a != b:
+                report.jobs_ok = False
+                report.failures.append(
+                    f"  {spec} differs between jobs=1 and jobs={jobs} — "
+                    + _first_difference(a, b)
+                )
+        # The inline replay table must also match the campaign's output
+        # (the executor round-trips tables through to_dict/from_dict).
+        a = inline.outcome(exhibit_id, seed).table.to_json()
+        if a != first:
+            report.jobs_ok = False
+            report.failures.append(
+                "  campaign output differs from direct run — "
+                + _first_difference(a, first)
+            )
+    return report

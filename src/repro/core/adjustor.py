@@ -89,10 +89,20 @@ class CcaAdjustor:
         self._initializing = True
         self._init_min_rssi: Optional[float] = None
         self._init_max_sense: Optional[float] = None
+        #: (time, rssi) co-channel observations made during the
+        #: initializing phase; they seed the Case-II window at the
+        #: phase boundary (see :meth:`finish_initialization`).
+        self._init_observations: List[Tuple[float, float]] = []
         #: (time, rssi) records within the updating window.
         self._window: Deque[Tuple[float, float]] = deque()
-        self._last_case1_time = 0.0
-        self._history: List[Tuple[float, float]] = [(0.0, self._threshold_dbm)]
+        # A node can boot mid-simulation (late joiner): both the
+        # Case-II reference time and the threshold trajectory must
+        # anchor at the *construction* time, not at t = 0, or
+        # ``history()`` shows a phantom pre-boot threshold and the
+        # first quiet-window measurement spans time the node never
+        # observed.
+        self._last_case1_time = sim.now
+        self._history: List[Tuple[float, float]] = [(sim.now, self._threshold_dbm)]
 
     # ------------------------------------------------------------------
     # Outputs
@@ -114,9 +124,16 @@ class CcaAdjustor:
     def observe_rssi(self, rssi_dbm: float) -> None:
         """A co-channel packet was overheard with this RSSI."""
         now = self.sim.now
+        checks = self.sim.checks
+        if checks is not None:
+            checks.on_adjustor_rssi(self, rssi_dbm)
         if self._initializing:
             if self._init_min_rssi is None or rssi_dbm < self._init_min_rssi:
                 self._init_min_rssi = rssi_dbm
+            # Keep the timestamped observation: it seeds the Case-II
+            # window at the phase boundary (finish_initialization), so
+            # evidence gathered while initializing is not thrown away.
+            self._init_observations.append((now, rssi_dbm))
             return
         self._window.append((now, rssi_dbm))
         self._expire_window(now)
@@ -146,7 +163,29 @@ class CcaAdjustor:
         if candidates:
             self._set_threshold(min(candidates) - self.config.margin_db)
         # else: no evidence at all — keep the conservative default.
-        self._last_case1_time = self.sim.now
+        now = self.sim.now
+        self._last_case1_time = now
+        # Seed the Case-II window with the co-channel packets overheard
+        # while initializing.  Without this, a weak neighbour that was
+        # *only* heard during the initializing phase contributes nothing
+        # to the first quiet-window minimum, and the very first Case-II
+        # update can relax the threshold *above* that neighbour's RSSI —
+        # re-introducing the starvation the adjustor exists to prevent.
+        #
+        # Entries are re-stamped at the phase-boundary time: with their
+        # original timestamps every init observation would sit at or
+        # before ``now``, so the first effective periodic_update (at
+        # ``now + T_U``, horizon ``now``) would expire all of them before
+        # the minimum is taken (expiry is strict ``< horizon``, so
+        # entries stamped exactly at ``now`` survive that first window
+        # and no longer).  Only observations from the trailing ``T_U``
+        # of the initializing phase are carried over — older ones would
+        # have expired already had the updating phase been running.
+        horizon = now - self.config.t_update_s
+        for obs_time, rssi in self._init_observations:
+            if obs_time >= horizon:
+                self._window.append((now, rssi))
+        self._init_observations.clear()
 
     def periodic_update(self) -> None:
         """Case II (Eq. 4), to be invoked every ``T_U`` seconds."""
@@ -173,3 +212,6 @@ class CcaAdjustor:
         self._threshold_dbm = value_dbm
         self._history.append((self.sim.now, value_dbm))
         self.sim.trace.emit("cca_threshold", value=round(value_dbm, 2))
+        checks = self.sim.checks
+        if checks is not None:
+            checks.on_adjustor_threshold(self, value_dbm)

@@ -47,6 +47,13 @@ class DcnCcaPolicy(CcaPolicy):
         if self._mac is not None:
             raise RuntimeError("a DcnCcaPolicy instance serves exactly one MAC")
         self._mac = mac
+        # Late-joiner audit: every schedule() below uses *relative*
+        # delays, and the adjustor anchors its history and Case-II
+        # reference at ``sim.now`` (not t = 0), so attaching mid-run —
+        # a node booting into an already-busy network — behaves exactly
+        # like attaching at t = 0 shifted by the boot time.  The
+        # initializing phase ends at ``now + T_I`` and the first Case-II
+        # check fires at ``now + T_I + T_U``.
         self._adjustor = CcaAdjustor(mac.sim, self.config)
         sim = mac.sim
         if self.config.t_init_s > 0:

@@ -117,6 +117,11 @@ def render_report(tables: Dict[str, ResultTable], elapsed_s: Dict[str, float],
         "quantity is the **shape** — who wins, by roughly what factor, and",
         "where the crossovers fall.",
         "",
+        "Multi-seed tables report mean ± 95 % confidence half-width computed",
+        "with Student's t distribution at n − 1 degrees of freedom (not the",
+        "normal 1.96: at the typical 5 seeds the t critical value is 2.776,",
+        "so normal-based intervals would be ~30 % too narrow).",
+        "",
         f"Generated with `python -m repro.experiments.report` "
         f"(profile: {profile}, {seed_note}).",
         "",

@@ -3,8 +3,13 @@
 Simulation experiments are stochastic in topology draws, fading and
 backoff; any number worth reporting should come with its spread.  These
 helpers keep that lightweight: run a deployment factory across seeds and
-summarise any scalar extractor with mean / standard deviation / a normal
-95 % confidence half-width.
+summarise any scalar extractor with mean / standard deviation / a
+Student-t 95 % confidence half-width.
+
+The t-distribution matters here because sweeps are small.  With the
+typical 5 seeds (4 degrees of freedom) the correct 95 % critical value
+is 2.776; the normal approximation's 1.96 understates the half-width by
+~30 %, silently overstating the confidence of every reported interval.
 """
 
 from __future__ import annotations
@@ -16,7 +21,48 @@ from typing import Callable, Iterable, List, Sequence
 from ..net.deployment import Deployment
 from .runner import RunResult, run_deployment
 
-__all__ = ["Summary", "summarize", "seed_sweep"]
+__all__ = ["Summary", "summarize", "seed_sweep", "t_critical_95"]
+
+#: Two-sided 95 % critical values of Student's t by degrees of freedom.
+#: Exact table for df <= 30; beyond that interpolate in 1/df between the
+#: classical anchor rows (40, 60, 120, infinity) — the standard textbook
+#: scheme, accurate to ~1e-3 over the whole range.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+#: Interpolation anchors above df = 30: (df, t).  The last entry is the
+#: normal limit (df -> infinity, 1/df -> 0).
+_T95_ANCHORS = [(30, 2.042), (40, 2.021), (60, 2.000), (120, 1.980)]
+_T95_INF = 1.960
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("t_critical_95 needs df >= 1")
+    exact = _T95.get(df)
+    if exact is not None:
+        return exact
+    # Linear interpolation in 1/df between anchors (t is nearly linear in
+    # 1/df in this regime); above the last anchor interpolate to the
+    # normal limit at 1/df = 0.
+    x = 1.0 / df
+    lo_df, lo_t = _T95_ANCHORS[-1]
+    hi_t = _T95_INF
+    lo_x, hi_x = 1.0 / lo_df, 0.0
+    for (a_df, a_t), (b_df, b_t) in zip(_T95_ANCHORS, _T95_ANCHORS[1:]):
+        if x >= 1.0 / b_df:
+            lo_x, lo_t = 1.0 / a_df, a_t
+            hi_x, hi_t = 1.0 / b_df, b_t
+            break
+    frac = (x - lo_x) / (hi_x - lo_x)
+    return lo_t + frac * (hi_t - lo_t)
 
 
 @dataclass(frozen=True)
@@ -37,7 +83,14 @@ class Summary:
 
 
 def summarize(values: Iterable[float]) -> Summary:
-    """Mean, sample standard deviation and normal 95 % CI half-width."""
+    """Mean, sample standard deviation and Student-t 95 % CI half-width.
+
+    The ``ci95`` field keeps its name but is computed with the t
+    critical value for ``n - 1`` degrees of freedom rather than the
+    normal 1.96 — for the small n typical of seed sweeps the normal
+    approximation materially understates the interval (n = 5:
+    t = 2.776 vs 1.96, i.e. ~30 % too narrow).
+    """
     data = tuple(float(v) for v in values)
     if not data:
         raise ValueError("summarize needs at least one value")
@@ -46,7 +99,7 @@ def summarize(values: Iterable[float]) -> Summary:
         return Summary(data, mean, 0.0, 0.0)
     variance = sum((v - mean) ** 2 for v in data) / (len(data) - 1)
     std = math.sqrt(variance)
-    ci95 = 1.96 * std / math.sqrt(len(data))
+    ci95 = t_critical_95(len(data) - 1) * std / math.sqrt(len(data))
     return Summary(data, mean, std, ci95)
 
 

@@ -83,6 +83,29 @@ class Deployment:
     saturate_senders:
         When True (default) every link sender gets a
         :class:`~repro.net.traffic.SaturatedSource` started at t = 0.
+    link_cache:
+        Fan-out strategy for the medium: ``True`` uses the audible-set
+        cache, ``False`` the brute-force reference scan.  ``None`` (the
+        default) means "cache, unless an active
+        :class:`~repro.check.runtime.CheckSession` asks for the
+        reference path".
+
+    Check-session integration
+    -------------------------
+    Exhibits construct their deployments internally, so the differential
+    oracle (``python -m repro check diff``) cannot thread configuration
+    through arguments.  Instead, when a :class:`repro.check.runtime.
+    CheckSession` is active, every deployment built inside it
+
+    - attaches a :class:`~repro.sim.trace.Trace` (when the session
+      captures traces) and registers it with the session,
+    - switches the medium to the reference path
+      (``link_cache=False, reference_accumulators=True``) when the
+      session is a *reference* session, and
+    - installs the session's :class:`~repro.check.invariants.
+      InvariantChecker` on the simulator.
+
+    Explicit constructor arguments always win over the ambient session.
     """
 
     def __init__(
@@ -98,10 +121,27 @@ class Deployment:
         saturate_senders: bool = True,
         radio_config: Optional[RadioConfig] = None,
         trace: Optional[Trace] = None,
+        link_cache: Optional[bool] = None,
     ) -> None:
+        from ..check.runtime import active_session
         from ..phy.medium import Medium  # local import to avoid cycles
 
-        self.sim = Simulator(trace=trace)
+        session = active_session()
+        checks = None
+        reference_accumulators = False
+        if session is not None:
+            if trace is None and session.capture_traces:
+                trace = Trace(enabled=True)
+            if session.capture_traces and trace is not None:
+                session.attach_trace(trace)
+            if link_cache is None:
+                link_cache = not session.reference
+            reference_accumulators = session.reference
+            checks = session.checker
+        if link_cache is None:
+            link_cache = True
+
+        self.sim = Simulator(trace=trace, checks=checks)
         if trace is not None:
             trace.bind_clock(lambda: self.sim.now)
         self.rng = RngStreams(seed)
@@ -118,6 +158,8 @@ class Deployment:
             path_loss=self.path_loss,
             fading=self.fading,
             rng=self.rng,
+            link_cache=link_cache,
+            reference_accumulators=reference_accumulators,
         )
         self.networks: List[Network] = []
         self.nodes: Dict[str, Node] = {}

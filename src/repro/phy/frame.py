@@ -19,10 +19,26 @@ __all__ = [
     "frame_airtime_s",
     "ack_airtime_s",
     "payload_for_airtime",
+    "reset_frame_ids",
     "ACK_MPDU_BYTES",
 ]
 
 _frame_ids = itertools.count(1)
+
+
+def reset_frame_ids(start: int = 1) -> None:
+    """Restart the global frame-id counter.
+
+    Frame ids exist purely to correlate trace records across transmitter
+    and receivers — nothing keys on them across runs.  The differential
+    oracle (:mod:`repro.check.oracle`) runs one exhibit twice in the same
+    process and compares traces record-by-record, so it resets the
+    counter before each leg; otherwise the second leg's ids continue
+    where the first left off and every record trivially differs.
+    Production code should never call this mid-run.
+    """
+    global _frame_ids
+    _frame_ids = itertools.count(start)
 
 #: An 802.15.4 acknowledgement MPDU: FCF (2) + sequence (1) + FCS (2).
 ACK_MPDU_BYTES = 5

@@ -200,6 +200,13 @@ class Medium:
         When ``True`` (the default) fan-out uses the
         :class:`LinkGainCache` audible sets; ``False`` forces the
         brute-force all-radios scan (reference path for exactness tests).
+    reference_accumulators:
+        When ``True`` every radio registered on this medium answers its
+        power probes by full per-call mask re-evaluation (the pre-PR-2
+        algorithm) instead of the memoised-gain incremental
+        accumulators.  Together with ``link_cache=False`` this is the
+        complete reference path the differential oracle
+        (``python -m repro check diff``) runs against.
     """
 
     def __init__(
@@ -210,12 +217,14 @@ class Medium:
         rng: Optional[RngStreams] = None,
         delivery_floor_dbm: float = -115.0,
         link_cache: bool = True,
+        reference_accumulators: bool = False,
     ) -> None:
         self.sim = sim
         self.path_loss = path_loss
         self.fading = fading if fading is not None else NoFading()
         self.rng = rng if rng is not None else RngStreams(0)
         self.delivery_floor_dbm = delivery_floor_dbm
+        self.reference_accumulators = bool(reference_accumulators)
         self._radios: List["Radio"] = []
         self._radio_ids: set = set()
         self._radios_snapshot: Optional[Tuple["Radio", ...]] = None

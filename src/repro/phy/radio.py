@@ -119,7 +119,13 @@ class Radio:
         #: entries meaning "sensed power became power_mw at time".  Feeds
         #: the time-averaged RSSI register.
         self._sense_history = deque(maxlen=128)
-        self._sense_history.append((0.0, self._noise_mw))
+        self._sense_history.append((self.sim.now, self._noise_mw))
+        #: Reference-path toggle (set by the medium): when True the
+        #: power probes re-derive every contribution from the spectral
+        #: masks per call instead of using the memoised gains and the
+        #: incremental sum — the pre-PR-2 algorithm, kept live for the
+        #: differential oracle (``python -m repro check diff``).
+        self._reference_accumulators = medium.reference_accumulators
         medium.register(self)
 
     # ------------------------------------------------------------------
@@ -168,6 +174,9 @@ class Radio:
         self._sense_history.append(
             (self.sim.now, self._noise_mw + self._sense_sum_mw)
         )
+        checks = self.sim.checks
+        if checks is not None:
+            checks.on_accumulator_update(self)
 
     def _remove_signal(self, signal: Signal) -> None:
         """Stop tracking ``signal`` and rebuild the sensing-path sum.
@@ -189,6 +198,9 @@ class Radio:
         self._sense_history.append(
             (self.sim.now, self._noise_mw + self._sense_sum_mw)
         )
+        checks = self.sim.checks
+        if checks is not None:
+            checks.on_accumulator_update(self)
 
     # ------------------------------------------------------------------
     # Sensing
@@ -201,6 +213,8 @@ class Radio:
         (contribution cached at signal start).  This is the interference
         term of reception SINR.
         """
+        if self._reference_accumulators:
+            return self.resample_in_channel_power_mw(exclude)
         total = self._noise_mw
         for signal in self.active_signals:
             if signal is exclude:
@@ -214,7 +228,51 @@ class Radio:
         O(1): the per-signal contributions are accumulated incrementally as
         signals start and end rather than re-summed on every probe.
         """
+        if self._reference_accumulators:
+            return self.resample_sense_power_mw()
         return self._noise_mw + self._sense_sum_mw
+
+    # ------------------------------------------------------------------
+    # Reference resampling (pre-PR-2 algorithms, kept live)
+    # ------------------------------------------------------------------
+    def resample_sense_power_mw(self) -> float:
+        """Sensing-path power by full mask re-evaluation.
+
+        The reference algorithm behind :meth:`sensed_power_mw`: every
+        active signal's CCA-mask leakage is recomputed per call and the
+        contributions are summed in active-list order with the noise
+        floor added last — the exact float-operation order the
+        incremental accumulator maintains, so a healthy accumulator
+        matches this *bit for bit*.  Used by the invariant layer's
+        periodic resample and by the ``check diff`` reference path.
+        """
+        total = 0.0
+        for signal in self.active_signals:
+            leakage_db = self.cca_mask.leakage_db(
+                signal.channel_mhz - self.channel_mhz
+            )
+            total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
+        return self._noise_mw + total
+
+    def resample_in_channel_power_mw(
+        self, exclude: Optional[Signal] = None
+    ) -> float:
+        """Decode-path power by full mask re-evaluation (reference).
+
+        Float-order-identical to :meth:`in_channel_power_mw` (noise
+        floor first, contributions in active-list order), with each
+        per-signal gain re-derived from the decode mask instead of the
+        memoised ``decode_mw`` cache.
+        """
+        total = self._noise_mw
+        for signal in self.active_signals:
+            if signal is exclude:
+                continue
+            leakage_db = self.mask.leakage_db(
+                signal.channel_mhz - self.channel_mhz
+            )
+            total += signal.rx_power_mw * (10.0 ** (-leakage_db / 10.0))
+        return total
 
     def sense_power_dbm(self) -> float:
         """Instantaneous sensed power in dBm."""

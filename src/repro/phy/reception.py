@@ -63,7 +63,7 @@ class Reception:
         self._close_segment(now)
         self._finished = True
         frame = self.signal.frame
-        return FrameReception(
+        outcome = FrameReception(
             frame=frame,
             rssi_dbm=self.signal.rx_power_dbm,
             crc_ok=(self.errored_bits == 0),
@@ -72,6 +72,12 @@ class Reception:
             start_time=self.start_time,
             end_time=now,
         )
+        checks = self.radio.sim.checks
+        if checks is not None:
+            # Bit conservation: a completed frame must have sampled
+            # exactly round(airtime * bit_rate) bits.
+            checks.on_frame_complete(self, outcome)
+        return outcome
 
     def abort(self) -> None:
         """Reception abandoned (e.g. the radio switched to transmit)."""

@@ -177,6 +177,18 @@ class EventQueue:
             return self._heap[0].time
         return None
 
+    def scan_live(self) -> int:
+        """Count live events by a full heap scan (O(n)).
+
+        Audit hook for the invariant layer
+        (:mod:`repro.check.invariants`): the lazily-maintained
+        :attr:`_live` counter drives ``__len__``/``__bool__`` and hence
+        the run loop's termination, so a drifted counter would silently
+        truncate or overrun a simulation.  ``scan_live`` recomputes the
+        ground truth so the checker can compare.
+        """
+        return sum(1 for event in self._heap if not event._cancelled)
+
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()

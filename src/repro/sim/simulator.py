@@ -18,6 +18,28 @@ class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling in the past)."""
 
 
+def _resolve_checks(checks: Any) -> Any:
+    """Normalise the ``checks`` constructor argument to a checker or None.
+
+    The import of :mod:`repro.check.invariants` is deferred to the
+    moment checks are actually requested so the kernel module stays
+    dependency-free on the default path.
+    """
+    if checks is None:
+        from ..check.invariants import checks_enabled_by_env
+
+        if not checks_enabled_by_env():
+            return None
+        checks = True
+    if checks is False:
+        return None
+    if checks is True:
+        from ..check.invariants import InvariantChecker
+
+        return InvariantChecker()
+    return checks
+
+
 class Simulator:
     """Discrete-event simulation kernel.
 
@@ -26,9 +48,21 @@ class Simulator:
     trace:
         Optional :class:`~repro.sim.trace.Trace` recording structured events.
         When omitted a disabled trace is created so call sites never branch.
+    checks:
+        Runtime-invariant hooks (see :mod:`repro.check.invariants`).
+        ``None`` (the default) consults the ``REPRO_CHECKS`` environment
+        variable; ``True`` arms a fresh default
+        :class:`~repro.check.invariants.InvariantChecker`; ``False``
+        disables checks regardless of the environment; any other object
+        is used as the checker directly.  Model layers reach the active
+        checker through the public :attr:`checks` attribute (``None``
+        when disabled), so the disabled cost is one attribute load and
+        an ``is None`` test per hook site.
     """
 
-    def __init__(self, trace: Optional[Trace] = None) -> None:
+    def __init__(
+        self, trace: Optional[Trace] = None, checks: Any = None
+    ) -> None:
         #: Current simulation time in seconds.  A plain attribute rather
         #: than a property: it is read on every event dispatch and inside
         #: every PHY/MAC hot path, where descriptor overhead is measurable.
@@ -37,6 +71,7 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self.trace = trace if trace is not None else Trace(enabled=False)
+        self.checks = _resolve_checks(checks)
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -89,12 +124,23 @@ class Simulator:
         self._running = True
         try:
             queue = self._queue
-            while True:
-                event = queue.pop_due(until)
-                if event is None:
-                    break
-                self.now = event.time
-                event.callback()
+            checks = self.checks
+            if checks is None:
+                # Hot loop: kept free of per-event instrumentation.
+                while True:
+                    event = queue.pop_due(until)
+                    if event is None:
+                        break
+                    self.now = event.time
+                    event.callback()
+            else:
+                while True:
+                    event = queue.pop_due(until)
+                    if event is None:
+                        break
+                    checks.on_event(event, self.now, queue)
+                    self.now = event.time
+                    event.callback()
             self.now = until
         finally:
             self._running = False
@@ -106,11 +152,14 @@ class Simulator:
         self._running = True
         try:
             queue = self._queue
+            checks = self.checks
             horizon = float("inf") if max_time is None else max_time
             while queue:
                 event = queue.pop_due(horizon)
                 if event is None:
                     break
+                if checks is not None:
+                    checks.on_event(event, self.now, queue)
                 self.now = event.time
                 event.callback()
             if max_time is not None and self.now < max_time and not self._queue:

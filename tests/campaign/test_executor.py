@@ -164,6 +164,26 @@ def _slow_or_quick(spec):
     return fake_runner(spec)
 
 
+def test_sub_second_timeout_enforced():
+    """Regression: ``timeout_s=0.2`` must fire at ~0.2 s, not be truncated.
+
+    The inline executor arms SIGALRM via ``setitimer``; an ``alarm()``-style
+    implementation would int-truncate 0.2 to 0 (no alarm at all) and the
+    sleeping runner would block for its full 10 s.
+    """
+    start = time.monotonic()
+    result = run_campaign(
+        specs(("slow", 1)),
+        cache=False, retries=0, timeout_s=0.2, runner=sleeping_runner,
+    )
+    elapsed = time.monotonic() - start
+    outcome = result.outcome("slow", 1)
+    assert not outcome.ok and "timeout" in outcome.error
+    # Generous ceiling: the point is that we did not sleep the full 10 s
+    # (truncated-to-zero alarm) nor round 0.2 up to whole seconds.
+    assert elapsed < 1.5, f"0.2 s timeout took {elapsed:.2f} s to fire"
+
+
 def test_duplicate_jobs_rejected():
     with pytest.raises(ValueError, match="duplicate"):
         run_campaign(specs(("a", 1), ("a", 1)), cache=False,

@@ -1,0 +1,47 @@
+"""Determinism-checker tests."""
+
+import pytest
+
+from repro.check.determinism import (
+    DeterminismReport,
+    _first_difference,
+    check_determinism,
+)
+
+
+def test_first_difference_points_at_byte():
+    text = _first_difference("abcdef", "abcXef")
+    assert "byte 3" in text
+    assert "abc" in text
+
+
+def test_first_difference_length_mismatch():
+    text = _first_difference("abc", "abcdef")
+    assert "byte 3" in text
+
+
+def test_report_describe_mentions_legs():
+    report = DeterminismReport("figX", 1, True, 2)
+    assert report.ok
+    text = report.describe()
+    assert "replay" in text and "jobs 1 vs 2" in text
+
+
+def test_report_failures_flip_ok():
+    report = DeterminismReport("figX", 1, True, 2, replay_ok=False)
+    assert not report.ok
+
+
+@pytest.mark.slow
+def test_check_determinism_on_real_exhibit():
+    """Acceptance: fixed-seed fig29 is byte-identical on replay and
+    across --jobs 1 / --jobs 2 campaign execution."""
+    report = check_determinism("fig29", seed=1, fast=True, jobs=2)
+    assert report.ok, report.describe()
+    assert report.json_bytes > 0
+    assert "byte-identical" in report.describe()
+
+
+def test_unknown_exhibit_raises_key_error():
+    with pytest.raises(KeyError):
+        check_determinism("nope")

@@ -1,0 +1,92 @@
+"""CheckSession plumbing: ambient activation and Deployment wiring."""
+
+import pytest
+
+from repro.check.invariants import InvariantChecker
+from repro.check.runtime import CheckSession, active_session
+from repro.net.deployment import Deployment
+from repro.net.topology import fixed_power, one_region_topology
+from repro.phy.spectrum import EVALUATION_BAND, ChannelPlan
+from repro.sim.rng import RngStreams
+
+
+def make_specs(seed=1, cfd=5.0):
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, cfd)
+    rng = RngStreams(seed).stream("topology")
+    return one_region_topology(plan, rng, power=fixed_power(0.0))
+
+
+def test_no_session_by_default():
+    assert active_session() is None
+
+
+def test_session_lifecycle():
+    session = CheckSession()
+    with session:
+        assert active_session() is session
+    assert active_session() is None
+
+
+def test_sessions_do_not_nest():
+    with CheckSession():
+        with pytest.raises(RuntimeError, match="nest"):
+            CheckSession().__enter__()
+    assert active_session() is None
+
+
+def test_session_cleared_on_exception():
+    with pytest.raises(ValueError):
+        with CheckSession():
+            raise ValueError("boom")
+    assert active_session() is None
+
+
+def test_deployment_outside_session_untouched():
+    deployment = Deployment(make_specs(), seed=1)
+    assert deployment.sim.trace.enabled is False  # default disabled trace
+    assert deployment.sim.checks is None
+    assert deployment.medium.reference_accumulators is False
+    assert deployment.medium._gain_cache is not None
+
+
+def test_deployment_inside_session_captures_trace():
+    session = CheckSession()
+    with session:
+        deployment = Deployment(make_specs(), seed=1)
+    assert len(session.traces) == 1
+    assert session.traces[0] is deployment.sim.trace
+    assert deployment.sim.trace.enabled
+
+
+def test_reference_session_switches_medium_paths():
+    with CheckSession(reference=True) as session:
+        deployment = Deployment(make_specs(), seed=1)
+    assert deployment.medium.reference_accumulators is True
+    assert deployment.medium._gain_cache is None  # link cache disabled
+    with CheckSession(reference=False):
+        fast = Deployment(make_specs(), seed=1)
+    assert fast.medium.reference_accumulators is False
+    assert fast.medium._gain_cache is not None
+
+
+def test_session_checker_armed_on_simulator():
+    checker = InvariantChecker()
+    with CheckSession(checker=checker):
+        deployment = Deployment(make_specs(), seed=1)
+    assert deployment.sim.checks is checker
+
+
+def test_explicit_link_cache_wins_over_session():
+    with CheckSession(reference=True):
+        deployment = Deployment(make_specs(), seed=1, link_cache=True)
+    # The caller's explicit choice beats the session's reference flag
+    # for the fan-out path; the accumulators still follow the session.
+    assert deployment.medium._gain_cache is not None
+    assert deployment.medium.reference_accumulators is True
+
+
+def test_capture_traces_false_leaves_trace_alone():
+    with CheckSession(capture_traces=False) as session:
+        deployment = Deployment(make_specs(), seed=1)
+    assert session.traces == []
+    assert deployment.sim.trace.enabled is False

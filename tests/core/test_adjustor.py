@@ -167,3 +167,101 @@ def test_invariant_threshold_never_above_weakest_observation(rssis):
         adjustor.observe_rssi(rssi)
         running_min = min(running_min, rssi)
         assert adjustor.threshold_dbm() <= running_min + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Regression: initializing-phase observations seed the Case-II window.
+
+
+def test_init_observations_seed_case2_window():
+    """A weak neighbour heard *only* during init must survive the first
+    Case-II check.
+
+    Pre-fix, init-phase RSSI records were dropped after Eq. 2, so the
+    first quiet-window minimum saw only the strong post-init traffic and
+    relaxed the threshold above the weak neighbour — exactly the
+    starvation DCN is meant to prevent.
+    """
+    sim, adjustor = make(t_update_s=3.0)
+    adjustor.observe_rssi(-85.0)  # weak neighbour, heard during init only
+    sim.run(1.0)
+    adjustor.finish_initialization()  # Eq. 2 -> -85
+    assert adjustor.threshold_dbm() == pytest.approx(-85.0)
+    sim.run(2.0)
+    adjustor.observe_rssi(-50.0)  # strong traffic after init (no Case I)
+    sim.run(4.0)
+    adjustor.periodic_update()
+    # The seeded -85 record is still inside the first T_U window, so the
+    # minimum includes it: the threshold must NOT relax to -50.
+    assert adjustor.threshold_dbm() == pytest.approx(-85.0)
+
+
+def test_seeded_window_expires_after_full_quiet_window():
+    """The carried-over init observations live for exactly one T_U: if the
+    weak neighbour then stays quiet, the threshold may relax as usual."""
+    sim, adjustor = make(t_update_s=3.0)
+    adjustor.observe_rssi(-85.0)
+    sim.run(1.0)
+    adjustor.finish_initialization()
+    sim.run(2.0)
+    adjustor.observe_rssi(-50.0)
+    sim.run(4.0)
+    adjustor.periodic_update()
+    assert adjustor.threshold_dbm() == pytest.approx(-85.0)
+    sim.run(5.5)
+    adjustor.observe_rssi(-50.0)
+    sim.run(7.0)
+    adjustor.periodic_update()  # seeded record expired; only -50 remains
+    assert adjustor.threshold_dbm() == pytest.approx(-50.0)
+
+
+def test_only_trailing_tu_of_init_observations_seed_window():
+    """With a long initializing phase, only observations from the last
+    T_U before the boundary are carried over (older ones would already
+    have expired had the updating phase been running)."""
+    sim, adjustor = make(t_init_s=5.0, t_update_s=3.0)
+    sim.run(1.0)
+    adjustor.observe_rssi(-90.0)  # stale: 4 s before the boundary
+    sim.run(3.0)
+    adjustor.observe_rssi(-80.0)  # fresh: 2 s before the boundary
+    sim.run(5.0)
+    adjustor.finish_initialization()  # Eq. 2 -> -90
+    assert adjustor.threshold_dbm() == pytest.approx(-90.0)
+    sim.run(6.0)
+    adjustor.observe_rssi(-50.0)
+    sim.run(8.0)
+    adjustor.periodic_update()
+    # -90 was NOT seeded (too old); -80 was; min(-80, -50) = -80.
+    assert adjustor.threshold_dbm() == pytest.approx(-80.0)
+
+
+# ----------------------------------------------------------------------
+# Regression: late-joining nodes anchor at construction time, not t = 0.
+
+
+def test_history_anchors_at_construction_time():
+    """A node booting mid-simulation must not report a phantom pre-boot
+    threshold: the first history entry carries the construction time."""
+    sim = Simulator()
+    sim.run(5.0)
+    _, adjustor = make(sim=sim)
+    history = adjustor.history()
+    assert history[0] == (pytest.approx(5.0), -77.0)
+
+
+def test_case2_reference_anchors_at_construction_time():
+    """The first quiet-window measurement must span time the node actually
+    observed: constructed at t = 5 with T_U = 3, a periodic check at
+    t = 7 is premature (2 s of evidence) and must not fire."""
+    sim = Simulator()
+    sim.run(5.0)
+    _, adjustor = make(sim=sim, t_update_s=3.0)
+    adjustor.finish_initialization()
+    sim.run(6.0)
+    adjustor.observe_rssi(-50.0)
+    sim.run(7.0)
+    adjustor.periodic_update()  # only 2 s since boot/finish: suppressed
+    assert adjustor.threshold_dbm() == pytest.approx(-77.0)
+    sim.run(8.5)
+    adjustor.periodic_update()  # 3.5 s: a full window has now elapsed
+    assert adjustor.threshold_dbm() == pytest.approx(-50.0)

@@ -164,3 +164,20 @@ def test_history_available_after_attach():
     history = policies["dcn"].history()
     assert history[0][1] == -77.0
     assert len(history) >= 2
+
+
+def test_late_attach_anchors_at_boot_time():
+    """A node booting mid-run (late joiner) must behave like a t = 0 boot
+    shifted by its attach time: all internal scheduling is relative, and
+    the adjustor history starts at the attach time, not at t = 0."""
+    sim, macs, _ = build_world({"a": 2460.0}, {}, set())
+    sim.run(2.5)
+    policy = DcnCcaPolicy(AdjustorConfig(t_init_s=1.0, t_update_s=3.0))
+    policy.attach(macs["a"])
+    history = policy.history()
+    assert history[0] == (pytest.approx(2.5), -77.0)
+    assert policy.adjustor.initializing
+    sim.run(3.0)  # 0.5 s after attach: still initializing
+    assert policy.adjustor.initializing
+    sim.run(4.0)  # 1.5 s after attach: T_I = 1 s has elapsed
+    assert not policy.adjustor.initializing

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.results import ResultTable
 from repro.experiments.scenarios import evaluation_plan, evaluation_testbed
-from repro.experiments.stats import seed_sweep, summarize
+from repro.experiments.stats import seed_sweep, summarize, t_critical_95
 
 
 def test_summarize_single_value():
@@ -19,8 +19,42 @@ def test_summarize_known_values():
     summary = summarize([1.0, 2.0, 3.0])
     assert summary.mean == pytest.approx(2.0)
     assert summary.std == pytest.approx(1.0)
-    assert summary.ci95 == pytest.approx(1.96 / (3**0.5), rel=1e-6)
+    # n = 3 -> 2 degrees of freedom -> t = 4.303, NOT the normal 1.96.
+    assert summary.ci95 == pytest.approx(4.303 / (3**0.5), rel=1e-6)
     assert "2.0" in str(summary)
+
+
+def test_summarize_uses_student_t_not_normal():
+    """Regression: small-n CIs must widen with the t distribution.
+
+    The pre-fix code used z = 1.96 regardless of n, understating the
+    interval by ~30 % at the typical 5 seeds.
+    """
+    summary = summarize([10.0, 11.0, 12.0, 13.0, 14.0])  # n=5, df=4
+    expected = 2.776 * summary.std / (5**0.5)
+    assert summary.ci95 == pytest.approx(expected, rel=1e-9)
+    # Guard against regressing to the normal approximation.
+    normal = 1.96 * summary.std / (5**0.5)
+    assert summary.ci95 > normal * 1.25
+
+
+def test_t_critical_values():
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(4) == pytest.approx(2.776)
+    assert t_critical_95(30) == pytest.approx(2.042)
+    # Interpolated region: bracketed by the neighbouring anchors.
+    assert 2.021 < t_critical_95(35) < 2.042
+    assert 2.000 < t_critical_95(50) < 2.021
+    assert 1.980 < t_critical_95(100) < 2.000
+    # Large df approaches (but never drops below) the normal limit.
+    assert 1.960 < t_critical_95(5000) < 1.962
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_t_critical_monotone_decreasing():
+    values = [t_critical_95(df) for df in range(1, 200)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
 
 
 def test_summarize_empty_rejected():

@@ -107,3 +107,66 @@ def test_leakage_never_negative_or_above_cap(df):
     mask = default_mask()
     value = mask.leakage_db(df)
     assert 0.0 <= value <= mask.max_db
+
+
+# ----------------------------------------------------------------------
+# Property tests over *arbitrary* valid masks (not just the calibrated
+# default): any PiecewiseLinearMask must be symmetric in the sign of the
+# offset, monotone non-decreasing in |delta_f|, and capped at max_db.
+
+@st.composite
+def piecewise_masks(draw):
+    """Generate a valid PiecewiseLinearMask (constructor invariants hold)."""
+    n_points = draw(st.integers(min_value=1, max_value=6))
+    freq_steps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n_points - 1, max_size=n_points - 1,
+        )
+    )
+    atten_steps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n_points - 1, max_size=n_points - 1,
+        )
+    )
+    first_atten = draw(
+        st.floats(min_value=0.0, max_value=10.0,
+                  allow_nan=False, allow_infinity=False)
+    )
+    points = [(0.0, first_atten)]
+    freq, atten = 0.0, first_atten
+    for df, da in zip(freq_steps, atten_steps):
+        freq += df
+        atten += da
+        points.append((freq, atten))
+    headroom = draw(
+        st.floats(min_value=0.0, max_value=40.0,
+                  allow_nan=False, allow_infinity=False)
+    )
+    return PiecewiseLinearMask(points, max_db=points[-1][1] + headroom)
+
+
+@given(piecewise_masks(), st.floats(min_value=-50.0, max_value=50.0,
+                                    allow_nan=False, allow_infinity=False))
+def test_arbitrary_mask_symmetric(mask, df):
+    assert mask.leakage_db(df) == mask.leakage_db(-df)
+
+
+@given(piecewise_masks(),
+       st.floats(min_value=-50.0, max_value=50.0,
+                 allow_nan=False, allow_infinity=False),
+       st.floats(min_value=-50.0, max_value=50.0,
+                 allow_nan=False, allow_infinity=False))
+def test_arbitrary_mask_monotone_in_abs_offset(mask, df1, df2):
+    lo, hi = sorted((abs(df1), abs(df2)))
+    assert mask.leakage_db(lo) <= mask.leakage_db(hi) + 1e-9
+
+
+@given(piecewise_masks(), st.floats(min_value=-200.0, max_value=200.0,
+                                    allow_nan=False, allow_infinity=False))
+def test_arbitrary_mask_bounded(mask, df):
+    value = mask.leakage_db(df)
+    assert 0.0 <= value <= mask.max_db + 1e-9
