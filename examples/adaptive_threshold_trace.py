@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
 """Watch DCN's CCA-Adjustor at work: the threshold trajectory of one node.
 
-Builds a three-network deployment where the middle network runs DCN, then
-prints the CCA-threshold history of its senders annotated with the phase
-transitions (initializing -> Eq. 2 -> Case I / Case II updates), plus an
-ASCII strip chart.  This is the paper's Fig. 12 made observable.
+Builds a three-network deployment where the middle network runs DCN and
+observes the run with a `repro.obs` recorder.  The adjustor publishes
+every threshold step to the event-driven ``adjustor.threshold_dbm`` time
+series, so the trajectory comes straight out of the telemetry registry —
+no poking at policy internals — annotated with the phase transitions
+(initializing -> Eq. 2 -> Case I / Case II updates), plus an ASCII strip
+chart.  This is the paper's Fig. 12 made observable.
+
+For the full telemetry walkthrough (tables, JSONL, Perfetto timeline)
+see examples/observability_tour.py.
 
 Run:  python examples/adaptive_threshold_trace.py
 """
 
 from repro.core.adjustor import AdjustorConfig
-from repro.core.dcn import DcnCcaPolicy
 from repro.experiments.runner import run_deployment
 from repro.experiments.scenarios import dcn_only_on, evaluation_testbed
+from repro.obs import Observability
 from repro.phy.spectrum import ChannelPlan
 
 
@@ -31,20 +37,25 @@ def strip_chart(history, t_end, width=72, lo=-90.0, hi=-40.0):
 
 
 def main() -> None:
+    recorder = Observability()  # event-driven only: no gauge sampler needed
     plan = ChannelPlan.explicit([2462.0, 2459.0, 2465.0], cfd_mhz=3.0)
     config = AdjustorConfig(t_init_s=1.0, t_update_s=3.0)
     deployment = evaluation_testbed(
-        plan, seed=21, policy_factory=dcn_only_on(["N0"], config=config)
+        plan, seed=21,
+        policy_factory=dcn_only_on(["N0"], config=config),
+        obs=recorder,
     )
     duration_s = 12.0
     result = run_deployment(deployment, duration_s, warmup_s=0.0)
+    recorder.finalize()
 
-    n0 = deployment.network("N0")
-    for node in n0.senders():
-        policy = node.mac.cca_policy
-        assert isinstance(policy, DcnCcaPolicy)
-        history = policy.history()
-        print(f"\n=== {node.name} ===")
+    sender_names = {node.name for node in deployment.network("N0").senders()}
+    for series in recorder.registry.series("adjustor.threshold_dbm"):
+        name = dict(series.labels)["node"]
+        if name not in sender_names:
+            continue
+        history = list(series.points)
+        print(f"\n=== {name} ===")
         print(f"initial (conservative default): {history[0][1]:.1f} dBm")
         eq2 = [h for h in history if abs(h[0] - config.t_init_s) < 0.05]
         if eq2:

@@ -15,19 +15,21 @@ The package implements, from scratch:
   evaluation (:mod:`repro.experiments`),
 - a parallel experiment-campaign engine with result caching, retries and
   per-seed aggregation (:mod:`repro.campaign`),
-- kernel profiling / benchmark-regression tooling (:mod:`repro.perf`), and
+- kernel profiling / benchmark-regression tooling (:mod:`repro.perf`),
 - a correctness layer: runtime invariants, a fast-vs-reference
-  differential oracle, and a determinism checker (:mod:`repro.check`).
+  differential oracle, and a determinism checker (:mod:`repro.check`), and
+- an observability layer: metrics registry, span timelines, JSONL export
+  and Perfetto-compatible trace output (:mod:`repro.obs`).
 """
 
-from . import check, core, dot11, experiments, mac, net, phy, sim
+from . import check, core, dot11, experiments, mac, net, obs, phy, sim
 
-# 0.3.0: correctness layer + bugfix sweep.  The adjustor now seeds the
-# Case-II window with initializing-phase observations and anchors its
-# history at construction time, and multi-seed CIs switched from normal
-# to Student-t — results change, so the version bump deliberately
-# invalidates every `.repro-cache/` entry.
-__version__ = "0.3.0"
+# 0.4.0: observability subsystem.  Results are unchanged (telemetry is
+# passive by design, verified byte-identical), but campaign cache entries
+# gain an optional metrics snapshot and the run-summary footer changed —
+# the version bump invalidates `.repro-cache/` so old entries are not
+# mixed with metric-bearing ones.
+__version__ = "0.4.0"
 
 from . import campaign, perf  # noqa: E402  (the cache keys on __version__)
 
@@ -39,6 +41,7 @@ __all__ = [
     "experiments",
     "mac",
     "net",
+    "obs",
     "perf",
     "phy",
     "sim",

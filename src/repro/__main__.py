@@ -20,6 +20,13 @@
     python -m repro check determinism fig04 --fast --jobs 2
                                                # same-seed replay + serial
                                                # vs parallel campaign
+    python -m repro obs summary fig04 --fast   # per-node/per-channel metrics
+    python -m repro obs timeline fig04 -o out.json
+                                               # Chrome trace_event export
+                                               # (open at ui.perfetto.dev)
+    python -m repro obs export fig04 -o run.jsonl
+                                               # streaming JSONL telemetry
+    python -m repro obs tail run.jsonl -n 20   # inspect an export
 """
 
 from __future__ import annotations
@@ -84,6 +91,8 @@ def _cmd_report(args) -> int:
         argv.append("--no-cache")
     if args.cache_dir:
         argv.extend(["--cache-dir", args.cache_dir])
+    if args.obs:
+        argv.append("--obs")
     return report_module.main(argv)
 
 
@@ -109,12 +118,14 @@ def _cmd_campaign_run(args) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         progress=ProgressPrinter(enabled=not args.quiet),
+        obs=args.obs,
     )
     if args.aggregate:
         for eid, table in result.aggregated().items():
             print(table.to_text("{:.4g}"))
             print()
-    print(f"campaign: {result.stats.summary_line()}")
+    # The final summary line is emitted by ProgressPrinter.finish()
+    # (unconditionally, even under --quiet), so it is not repeated here.
     for failure in result.failures():
         print(f"FAILED {failure.spec} after {failure.attempts} attempts:\n"
               f"{failure.error}", file=sys.stderr)
@@ -227,6 +238,30 @@ def _cmd_check_determinism(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_obs_summary(args) -> int:
+    from .obs.cli import cmd_summary
+
+    return cmd_summary(args)
+
+
+def _cmd_obs_timeline(args) -> int:
+    from .obs.cli import cmd_timeline
+
+    return cmd_timeline(args)
+
+
+def _cmd_obs_export(args) -> int:
+    from .obs.cli import cmd_export
+
+    return cmd_export(args)
+
+
+def _cmd_obs_tail(args) -> int:
+    from .obs.cli import cmd_tail
+
+    return cmd_tail(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -262,6 +297,9 @@ def main(argv=None) -> int:
                                help="bypass the result cache")
     report_parser.add_argument("--cache-dir", default=None)
     report_parser.add_argument("--out", default="EXPERIMENTS.md")
+    report_parser.add_argument("--obs", action="store_true",
+                               help="capture per-job telemetry snapshots "
+                                    "(adds a footer column)")
     report_parser.set_defaults(func=_cmd_report)
 
     campaign_parser = sub.add_parser(
@@ -289,6 +327,9 @@ def main(argv=None) -> int:
                        help="print per-exhibit mean ± CI tables")
     c_run.add_argument("--quiet", action="store_true",
                        help="suppress the live progress line")
+    c_run.add_argument("--obs", action="store_true",
+                       help="capture per-job telemetry snapshots into the "
+                            "result cache")
     c_run.set_defaults(func=_cmd_campaign_run)
 
     c_status = campaign_sub.add_parser("status", help="result-cache inventory")
@@ -365,6 +406,52 @@ def main(argv=None) -> int:
                        help="parallel worker count for the campaign leg "
                             "(default 2)")
     k_det.set_defaults(func=_cmd_check_determinism)
+
+    obs_parser = sub.add_parser(
+        "obs", help="run telemetry: metric summaries, timelines, exports"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    def _obs_run_args(p) -> None:
+        p.add_argument("experiment", help="exhibit id, e.g. fig04")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--fast", action="store_true")
+        p.add_argument("--sample-interval", type=float, default=0.01,
+                       help="gauge sampling period in sim seconds "
+                            "(default 0.01)")
+
+    o_summary = obs_sub.add_parser(
+        "summary", help="run one exhibit and print per-node/per-channel "
+                        "metric tables"
+    )
+    _obs_run_args(o_summary)
+    o_summary.set_defaults(func=_cmd_obs_summary)
+
+    o_timeline = obs_sub.add_parser(
+        "timeline", help="run one exhibit and export a Chrome trace_event "
+                         "timeline (open at ui.perfetto.dev)"
+    )
+    _obs_run_args(o_timeline)
+    o_timeline.add_argument("-o", "--out", default="timeline.json")
+    o_timeline.set_defaults(func=_cmd_obs_timeline)
+
+    o_export = obs_sub.add_parser(
+        "export", help="run one exhibit and stream telemetry records to a "
+                       "JSONL file (manifest first)"
+    )
+    _obs_run_args(o_export)
+    o_export.add_argument("-o", "--out", default="obs.jsonl")
+    o_export.set_defaults(func=_cmd_obs_export)
+
+    o_tail = obs_sub.add_parser(
+        "tail", help="print the trailing records of a JSONL export"
+    )
+    o_tail.add_argument("path", help="JSONL file written by 'obs export'")
+    o_tail.add_argument("-n", "--lines", type=int, default=10)
+    o_tail.add_argument("--kind", default=None,
+                        help="only records of this kind "
+                             "(manifest/span/point/counter)")
+    o_tail.set_defaults(func=_cmd_obs_tail)
 
     args = parser.parse_args(argv)
     return args.func(args)

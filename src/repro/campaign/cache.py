@@ -43,6 +43,10 @@ class CacheEntry:
     elapsed_s: float
     version: str
     created_at: float
+    #: Optional observability snapshot captured with the result (present
+    #: when the campaign ran with ``obs=True``); ``None`` otherwise —
+    #: including for entries written before the obs subsystem existed.
+    metrics: Optional[Dict[str, Any]] = None
 
 
 class ResultCache:
@@ -78,19 +82,30 @@ class ResultCache:
                 # hash-prefix collision or handcrafted file: never trust it
                 raise ValueError("cache key mismatch")
             table = ResultTable.from_dict(payload["table"])
+            metrics = payload.get("metrics")
+            if metrics is not None and not isinstance(metrics, dict):
+                raise ValueError("cache metrics must be a dict")
             return CacheEntry(
                 spec=JobSpec.from_dict(payload["spec"]),
                 table=table,
                 elapsed_s=float(payload.get("elapsed_s", 0.0)),
                 version=str(payload.get("version", "")),
                 created_at=float(payload.get("created_at", 0.0)),
+                metrics=metrics,
             )
         except (KeyError, TypeError, ValueError):
             self._evict(path)
             return None
 
-    def put(self, spec: JobSpec, table: ResultTable, elapsed_s: float) -> Path:
-        """Atomically write one entry; returns the entry path."""
+    def put(self, spec: JobSpec, table: ResultTable, elapsed_s: float,
+            metrics: Optional[Dict[str, Any]] = None) -> Path:
+        """Atomically write one entry; returns the entry path.
+
+        ``metrics`` is the optional observability snapshot (see
+        :meth:`repro.obs.runtime.ObsSession.snapshot`); omitting it keeps
+        the entry shape of pre-obs caches, so the on-disk format version
+        is unchanged and old entries stay readable.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         payload: Dict[str, Any] = {
             "format": _FORMAT,
@@ -101,6 +116,8 @@ class ResultCache:
             "created_at": time.time(),
             "table": table.to_dict(),
         }
+        if metrics is not None:
+            payload["metrics"] = metrics
         path = self.path_for(spec)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.root), prefix=path.name, suffix=".tmp"

@@ -69,6 +69,8 @@ class JobOutcome:
     attempts: int
     elapsed_s: float
     from_cache: bool = False
+    #: Observability snapshot of the run (``obs=True`` campaigns only).
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -149,12 +151,30 @@ def _worker(payload: Dict[str, Any], runner: Optional[Runner]) -> Dict[str, Any]
     timeout_s = payload.get("timeout_s")
     start = time.perf_counter()
     try:
-        table = _execute_with_timeout(runner or run_registry_job, spec, timeout_s)
-        return {
+        if payload.get("obs"):
+            # Event-driven telemetry only (sample_interval_s=None): the
+            # snapshot costs a few counters per frame, not a gauge sweep,
+            # and enabling it never changes the job's fixed-seed result.
+            from ..obs.runtime import ObsSession
+
+            with ObsSession(sample_interval_s=None) as obs_session:
+                table = _execute_with_timeout(
+                    runner or run_registry_job, spec, timeout_s
+                )
+            metrics = obs_session.snapshot()
+        else:
+            table = _execute_with_timeout(
+                runner or run_registry_job, spec, timeout_s
+            )
+            metrics = None
+        result = {
             "ok": True,
             "table": table.to_dict(),
             "elapsed_s": time.perf_counter() - start,
         }
+        if metrics is not None:
+            result["metrics"] = metrics
+        return result
     except JobTimeout:
         return {
             "ok": False,
@@ -182,8 +202,14 @@ class _Pending:
     last_error: Optional[str] = None
 
 
-def _payload(pending: _Pending, timeout_s: Optional[float]) -> Dict[str, Any]:
-    return {"spec": pending.spec.to_dict(), "timeout_s": timeout_s}
+def _payload(pending: _Pending, timeout_s: Optional[float],
+             obs: bool = False) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "spec": pending.spec.to_dict(), "timeout_s": timeout_s,
+    }
+    if obs:
+        payload["obs"] = True
+    return payload
 
 
 def run_campaign(
@@ -197,6 +223,7 @@ def run_campaign(
     runner: Optional[Runner] = None,
     progress: Optional[ProgressPrinter] = None,
     stats: Optional[CampaignStats] = None,
+    obs: bool = False,
 ) -> CampaignResult:
     """Run a batch of exhibit jobs and collect every outcome.
 
@@ -220,6 +247,12 @@ def run_campaign(
     runner:
         Override the job runner (must be picklable when ``jobs>1``);
         defaults to registry execution.
+    obs:
+        When True each worker runs its job under an ambient
+        :class:`~repro.obs.runtime.ObsSession` (event-driven metrics
+        only) and the resulting snapshot rides along on
+        :attr:`JobOutcome.metrics` and into the result cache.  Jobs that
+        hit the cache reuse the cached snapshot when one was stored.
     """
     if isinstance(jobs_or_spec, CampaignSpec):
         from ..experiments.registry import all_ids
@@ -269,7 +302,8 @@ def run_campaign(
         entry = cache_obj.get(spec) if cache_obj is not None else None
         if entry is not None:
             record(JobOutcome(spec, entry.table, None, attempts=0,
-                              elapsed_s=entry.elapsed_s, from_cache=True))
+                              elapsed_s=entry.elapsed_s, from_cache=True,
+                              metrics=entry.metrics))
         else:
             pending.append(_Pending(spec))
 
@@ -280,10 +314,12 @@ def run_campaign(
         pend.elapsed_s += raw["elapsed_s"]
         if raw["ok"]:
             table = ResultTable.from_dict(raw["table"])
+            metrics = raw.get("metrics")
             if cache_obj is not None:
-                cache_obj.put(pend.spec, table, raw["elapsed_s"])
+                cache_obj.put(pend.spec, table, raw["elapsed_s"],
+                              metrics=metrics)
             record(JobOutcome(pend.spec, table, None, pend.attempts,
-                              pend.elapsed_s))
+                              pend.elapsed_s, metrics=metrics))
         elif pend.attempts > retries:
             record(JobOutcome(pend.spec, None, raw["error"], pend.attempts,
                               pend.elapsed_s))
@@ -304,12 +340,12 @@ def run_campaign(
             delay = pend.not_before - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
-            settle(pend, _worker(_payload(pend, timeout_s), runner))
+            settle(pend, _worker(_payload(pend, timeout_s, obs), runner))
     else:
         requeue = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(_worker, _payload(p, timeout_s), runner): p
+                pool.submit(_worker, _payload(p, timeout_s, obs), runner): p
                 for p in pending
             }
             while futures:
@@ -332,7 +368,7 @@ def run_campaign(
                     if delay:
                         time.sleep(delay)
                     futures[pool.submit(
-                        _worker, _payload(pend, timeout_s), runner)] = pend
+                        _worker, _payload(pend, timeout_s, obs), runner)] = pend
 
     if progress is not None:
         progress.finish(result.stats)

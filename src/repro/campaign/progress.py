@@ -91,9 +91,13 @@ class ProgressPrinter:
         self.stream.flush()
 
     def finish(self, stats: CampaignStats) -> None:
-        if not self.enabled:
-            return
-        if self._is_tty:
+        """Emit the final summary line.
+
+        Printed even when per-job updates are disabled (``enabled=False``
+        or ``--quiet``): the one-line totals are the minimum record a CI
+        log needs to be auditable.
+        """
+        if self.enabled and self._is_tty:
             self.stream.write("\r" + " " * self._last_width + "\r")
         self.stream.write(f"campaign: {stats.summary_line()}\n")
         self.stream.flush()

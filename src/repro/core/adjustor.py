@@ -82,9 +82,12 @@ class CcaAdjustor:
     DcnCcaPolicy` wires it to a live radio/MAC.
     """
 
-    def __init__(self, sim: Simulator, config: Optional[AdjustorConfig] = None) -> None:
+    def __init__(self, sim: Simulator, config: Optional[AdjustorConfig] = None,
+                 owner: str = "") -> None:
         self.sim = sim
         self.config = config if config is not None else AdjustorConfig()
+        #: Node name for telemetry labelling (empty for bare adjustors).
+        self.owner = owner
         self._threshold_dbm = self.config.initial_threshold_dbm
         self._initializing = True
         self._init_min_rssi: Optional[float] = None
@@ -103,6 +106,8 @@ class CcaAdjustor:
         # observed.
         self._last_case1_time = sim.now
         self._history: List[Tuple[float, float]] = [(sim.now, self._threshold_dbm)]
+        if sim.obs is not None:
+            sim.obs.on_threshold(self.owner or "adjustor", self._threshold_dbm)
 
     # ------------------------------------------------------------------
     # Outputs
@@ -212,6 +217,9 @@ class CcaAdjustor:
         self._threshold_dbm = value_dbm
         self._history.append((self.sim.now, value_dbm))
         self.sim.trace.emit("cca_threshold", value=round(value_dbm, 2))
+        obs = self.sim.obs
+        if obs is not None:
+            obs.on_threshold(self.owner or "adjustor", value_dbm)
         checks = self.sim.checks
         if checks is not None:
             checks.on_adjustor_threshold(self, value_dbm)

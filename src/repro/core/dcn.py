@@ -54,7 +54,7 @@ class DcnCcaPolicy(CcaPolicy):
         # like attaching at t = 0 shifted by the boot time.  The
         # initializing phase ends at ``now + T_I`` and the first Case-II
         # check fires at ``now + T_I + T_U``.
-        self._adjustor = CcaAdjustor(mac.sim, self.config)
+        self._adjustor = CcaAdjustor(mac.sim, self.config, owner=mac.name)
         sim = mac.sim
         if self.config.t_init_s > 0:
             self._schedule_sense_sample()

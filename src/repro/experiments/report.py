@@ -21,7 +21,7 @@ from typing import Dict, Optional, Sequence
 from .registry import REGISTRY
 from .results import ResultTable
 
-__all__ = ["PAPER_CLAIMS", "render_report", "main"]
+__all__ = ["PAPER_CLAIMS", "render_report", "obs_summary_cell", "main"]
 
 #: What the paper reports for each exhibit — the comparison column.
 PAPER_CLAIMS: Dict[str, str] = {
@@ -102,7 +102,8 @@ PAPER_CLAIMS: Dict[str, str] = {
 def render_report(tables: Dict[str, ResultTable], elapsed_s: Dict[str, float],
                   profile: str, seed: int,
                   seeds: Optional[Sequence[int]] = None,
-                  cache_status: Optional[Dict[str, str]] = None) -> str:
+                  cache_status: Optional[Dict[str, str]] = None,
+                  obs_status: Optional[Dict[str, str]] = None) -> str:
     if seeds is not None and len(seeds) > 1:
         seed_note = f"seeds: {','.join(str(s) for s in seeds)}"
     else:
@@ -154,17 +155,49 @@ def render_report(tables: Dict[str, ResultTable], elapsed_s: Dict[str, float],
         lines.append("Per-exhibit wall time and result-cache status "
                      "(campaign engine; see `python -m repro campaign`).")
         lines.append("")
-        lines.append("| exhibit | wall time (s) | cache |")
-        lines.append("|---|---:|---|")
-        for eid in tables:
-            lines.append(
-                f"| `{eid}` | {elapsed_s.get(eid, 0.0):.2f} | "
-                f"{cache_status.get(eid, 'n/a')} |"
-            )
-        total = sum(elapsed_s.get(eid, 0.0) for eid in tables)
-        lines.append(f"| **total** | **{total:.2f}** | |")
+        if obs_status is not None:
+            lines.append("| exhibit | wall time (s) | cache | telemetry |")
+            lines.append("|---|---:|---|---|")
+            for eid in tables:
+                lines.append(
+                    f"| `{eid}` | {elapsed_s.get(eid, 0.0):.2f} | "
+                    f"{cache_status.get(eid, 'n/a')} | "
+                    f"{obs_status.get(eid, 'n/a')} |"
+                )
+            total = sum(elapsed_s.get(eid, 0.0) for eid in tables)
+            lines.append(f"| **total** | **{total:.2f}** | | |")
+        else:
+            lines.append("| exhibit | wall time (s) | cache |")
+            lines.append("|---|---:|---|")
+            for eid in tables:
+                lines.append(
+                    f"| `{eid}` | {elapsed_s.get(eid, 0.0):.2f} | "
+                    f"{cache_status.get(eid, 'n/a')} |"
+                )
+            total = sum(elapsed_s.get(eid, 0.0) for eid in tables)
+            lines.append(f"| **total** | **{total:.2f}** | |")
         lines.append("")
     return "\n".join(lines)
+
+
+def obs_summary_cell(outcomes) -> str:
+    """Compress job obs snapshots into one footer cell (frames / spans).
+
+    ``outcomes`` are the per-seed :class:`~repro.campaign.executor.
+    JobOutcome` objects of one exhibit; jobs run without telemetry (or
+    restored from pre-obs cache entries) contribute nothing.
+    """
+    snapshots = [o.metrics for o in outcomes if getattr(o, "metrics", None)]
+    if not snapshots:
+        return "n/a"
+    frames = 0.0
+    spans = 0
+    for snap in snapshots:
+        spans += int(snap.get("spans", 0))
+        for key, value in snap.get("counters", {}).items():
+            if key.startswith("tx.frames{"):
+                frames += value
+    return f"{int(frames)} frames, {spans} spans"
 
 
 def parse_seeds(text: str) -> list:
@@ -202,6 +235,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="EXPERIMENTS.md")
     parser.add_argument("--only", nargs="*", default=None,
                         help="restrict to these experiment ids")
+    parser.add_argument("--obs", action="store_true",
+                        help="capture per-job telemetry snapshots and add "
+                             "a telemetry column to the run-summary footer")
     args = parser.parse_args(argv)
 
     from ..campaign import (
@@ -225,11 +261,13 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         cache=cache,
         progress=ProgressPrinter(),
+        obs=args.obs,
     )
 
     tables = result.aggregated()
     elapsed: Dict[str, float] = {}
     cache_status: Dict[str, str] = {}
+    obs_status: Optional[Dict[str, str]] = {} if args.obs else None
     for eid in tables:
         outcomes = [result.outcome(eid, s) for s in seeds
                     if (eid, s) in result.outcomes]
@@ -240,6 +278,8 @@ def main(argv=None) -> int:
             else "miss" if hits == 0
             else f"partial ({hits}/{len(outcomes)})"
         )
+        if obs_status is not None:
+            obs_status[eid] = obs_summary_cell(outcomes)
 
     for eid, table in tables.items():
         print(f"[{eid}] {REGISTRY[eid].description} "
@@ -253,7 +293,8 @@ def main(argv=None) -> int:
     if not args.only:
         profile = "fast" if args.fast else "paper"
         report = render_report(tables, elapsed, profile, seeds[0],
-                               seeds=seeds, cache_status=cache_status)
+                               seeds=seeds, cache_status=cache_status,
+                               obs_status=obs_status)
         with open(args.out, "w") as handle:
             handle.write(report)
         print(f"wrote {args.out}")

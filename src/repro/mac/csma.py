@@ -62,6 +62,8 @@ class CsmaTransaction:
         self._be = params.mac_min_be
         self._cancelled = False
         self._pending = None
+        #: (start_time, delay) of the backoff in flight, for telemetry.
+        self._obs_backoff = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -84,6 +86,8 @@ class CsmaTransaction:
     def _backoff(self) -> None:
         slots = int(self.rng.integers(0, 2**self._be))
         delay = slots * self.params.unit_backoff_s
+        if self.sim.obs is not None:
+            self._obs_backoff = (self.sim.now, delay)
         self._schedule(delay + self.params.cca_duration_s, self._cca_check)
 
     def _cca_check(self) -> None:
@@ -92,7 +96,20 @@ class CsmaTransaction:
         self._pending = None
         self.stats.cca_attempts += 1
         threshold = self.cca_policy.threshold_dbm()
-        if self.radio.state is not RadioState.IDLE or self.radio.cca_busy(threshold):
+        busy = (
+            self.radio.state is not RadioState.IDLE
+            or self.radio.cca_busy(threshold)
+        )
+        obs = self.sim.obs
+        if obs is not None and self._obs_backoff is not None:
+            # Recorded retrospectively, now that the backoff + CCA window
+            # is known to have completed (a cancelled transaction leaves
+            # no phantom spans).
+            start, delay = self._obs_backoff
+            self._obs_backoff = None
+            obs.on_cca(self.radio.name, start, delay,
+                       self.params.cca_duration_s, busy)
+        if busy:
             self.stats.cca_busy += 1
             if self.sim.trace.enabled:
                 self.sim.trace.emit(

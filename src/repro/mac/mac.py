@@ -58,6 +58,8 @@ class Mac:
         self._idle_listeners: List[IdleListener] = []
         radio.add_frame_listener(self._on_reception)
         self.cca_policy.attach(self)
+        if sim.obs is not None:
+            sim.obs.register_mac(self)
 
     # ------------------------------------------------------------------
     # Transmit path

@@ -89,6 +89,11 @@ class Deployment:
         default) means "cache, unless an active
         :class:`~repro.check.runtime.CheckSession` asks for the
         reference path".
+    obs:
+        Optional :class:`~repro.obs.recorder.Observability` telemetry
+        recorder handed to the simulator.  ``None`` (the default) means
+        "no telemetry, unless an active :class:`~repro.obs.runtime.
+        ObsSession` supplies a recorder".
 
     Check-session integration
     -------------------------
@@ -122,10 +127,16 @@ class Deployment:
         radio_config: Optional[RadioConfig] = None,
         trace: Optional[Trace] = None,
         link_cache: Optional[bool] = None,
+        obs=None,
     ) -> None:
         from ..check.runtime import active_session
+        from ..obs.runtime import active_obs_session
         from ..phy.medium import Medium  # local import to avoid cycles
 
+        if obs is None:
+            obs_session = active_obs_session()
+            if obs_session is not None:
+                obs = obs_session.make_observability()
         session = active_session()
         checks = None
         reference_accumulators = False
@@ -141,7 +152,7 @@ class Deployment:
         if link_cache is None:
             link_cache = True
 
-        self.sim = Simulator(trace=trace, checks=checks)
+        self.sim = Simulator(trace=trace, checks=checks, obs=obs)
         if trace is not None:
             trace.bind_clock(lambda: self.sim.now)
         self.rng = RngStreams(seed)

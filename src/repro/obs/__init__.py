@@ -1,0 +1,65 @@
+"""``repro.obs`` — the observability subsystem.
+
+Everything the other PR-era subsystems (campaign, perf, check) report
+about *outcomes*, this package reports about *behaviour over time*:
+
+- :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram``/
+  ``TimeSeries`` in a labelled :class:`MetricsRegistry`;
+- :mod:`repro.obs.spans` — completed tx/rx/backoff/CCA intervals;
+- :mod:`repro.obs.recorder` — :class:`Observability`, the per-simulator
+  recorder the model layers feed through ``sim.obs`` hooks;
+- :mod:`repro.obs.sinks` — bounded memory buffer and streaming JSONL
+  writer under a versioned schema, plus the run manifest;
+- :mod:`repro.obs.runtime` — the ambient :class:`ObsSession` that lets
+  ``repro obs ...`` instrument unmodified exhibits;
+- :mod:`repro.obs.timeline` — Chrome ``trace_event`` export (Perfetto);
+- :mod:`repro.obs.summary` — per-node/per-channel metric tables.
+
+Enable per run with ``Deployment(obs=Observability())`` or ambiently::
+
+    with ObsSession() as session:
+        fig04.run(seed=1, fast=True)
+    print(session.snapshot())
+
+Disabled (the default) the instrumentation costs one ``is None`` test per
+hook site, and enabling it never changes fixed-seed results.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from .recorder import Observability
+from .runtime import ObsSession, active_obs_session
+from .sinks import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    Sink,
+    read_jsonl,
+    run_manifest,
+)
+from .spans import Span, SpanLog
+from .summary import channel_table, node_table, summary_tables
+from .timeline import trace_events, write_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "Span",
+    "SpanLog",
+    "Observability",
+    "ObsSession",
+    "active_obs_session",
+    "SCHEMA_VERSION",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "run_manifest",
+    "read_jsonl",
+    "trace_events",
+    "write_trace",
+    "node_table",
+    "channel_table",
+    "summary_tables",
+]

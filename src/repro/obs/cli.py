@@ -1,0 +1,125 @@
+"""``python -m repro obs`` subcommands.
+
+::
+
+    repro obs summary fig04 --fast          # per-node/per-channel tables
+    repro obs timeline fig04 -o out.json    # Chrome trace_event export
+    repro obs export fig04 -o run.jsonl     # streaming JSONL record dump
+    repro obs tail run.jsonl [-n 20] [--kind span]
+
+``summary``/``timeline``/``export`` re-run the named exhibit under an
+ambient :class:`~repro.obs.runtime.ObsSession` (exhibits construct their
+deployments internally, so this is the only hook point that needs no
+figure-module changes).  ``tail`` is offline: it inspects a JSONL file a
+previous ``export`` produced — including one still being written.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional, Tuple
+
+from .runtime import ObsSession
+from .sinks import JsonlSink, Sink, read_jsonl, run_manifest
+from .timeline import write_trace
+
+__all__ = ["observe_exhibit", "cmd_summary", "cmd_timeline", "cmd_export",
+           "cmd_tail"]
+
+
+def observe_exhibit(
+    experiment_id: str,
+    seed: int = 1,
+    fast: bool = True,
+    sample_interval_s: Optional[float] = 0.01,
+    sink: Optional[Sink] = None,
+) -> Tuple[ObsSession, object]:
+    """Run one registered exhibit under an ambient obs session.
+
+    Returns ``(session, result_table)``; the session's recorders are
+    finalised (observation windows frozen, counters flushed to the sink).
+    """
+    from ..experiments.registry import get
+
+    experiment = get(experiment_id)
+    with ObsSession(sample_interval_s=sample_interval_s, sink=sink) as session:
+        table = experiment.run(seed=seed, fast=fast)
+    return session, table
+
+
+def cmd_summary(args) -> int:
+    from .summary import summary_tables
+
+    try:
+        session, _table = observe_exhibit(
+            args.experiment, seed=args.seed, fast=args.fast,
+            sample_interval_s=args.sample_interval,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if not session.recorders:
+        print(f"{args.experiment} built no deployments; nothing to summarise",
+              file=sys.stderr)
+        return 1
+    for table in summary_tables(session.recorders, exhibit=args.experiment):
+        print(table.to_text("{:.4g}"))
+        print()
+    snap = session.snapshot()
+    print(f"{args.experiment}: {snap['runs']} run(s), "
+          f"{snap['spans']} spans, {snap['sim_time_s']:.3f} s sim time")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    try:
+        session, _table = observe_exhibit(
+            args.experiment, seed=args.seed, fast=args.fast,
+            sample_interval_s=args.sample_interval,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if not session.recorders:
+        print(f"{args.experiment} built no deployments; nothing to export",
+              file=sys.stderr)
+        return 1
+    manifest = run_manifest(exhibit=args.experiment, seed=args.seed,
+                            profile="fast" if args.fast else "full")
+    count = write_trace(args.out, session.recorders, metadata=manifest)
+    print(f"wrote {count} trace events for {len(session.recorders)} run(s) "
+          f"to {args.out} (open at https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_export(args) -> int:
+    with JsonlSink(args.out) as sink:
+        sink.emit(run_manifest(exhibit=args.experiment, seed=args.seed,
+                               profile="fast" if args.fast else "full"))
+        try:
+            session, _table = observe_exhibit(
+                args.experiment, seed=args.seed, fast=args.fast,
+                sample_interval_s=args.sample_interval, sink=sink,
+            )
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        emitted = sink.emitted
+    print(f"wrote {emitted} records for {len(session.recorders)} run(s) "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_tail(args) -> int:
+    if args.lines < 1:
+        print(f"-n must be >= 1, got {args.lines}", file=sys.stderr)
+        return 2
+    try:
+        records = read_jsonl(args.path, last=args.lines, kind=args.kind)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    for record in records:
+        print(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return 0

@@ -1,0 +1,253 @@
+"""Metric primitives and the labelled registry.
+
+Four metric kinds cover everything the telemetry layer records:
+
+- :class:`Counter` — monotonically increasing totals (frames sent,
+  airtime seconds per channel);
+- :class:`Gauge` — a zero-argument callback read on demand (live queue
+  depth, current CCA threshold); gauges are *sampled* into a paired
+  :class:`TimeSeries` by the recorder's periodic sim process;
+- :class:`Histogram` — value distributions with nearest-rank quantiles
+  (backoff durations, per-reception RSSI);
+- :class:`TimeSeries` — bounded ``(sim_time, value)`` trajectories, fed
+  either by the sampler or event-driven (the adjustor's threshold steps).
+
+Metrics are keyed by ``(name, labels)`` in a :class:`MetricsRegistry`; the
+idiomatic labels here are ``node=`` and ``channel=``.  All of this is pure
+bookkeeping — no metric draws randomness or schedules events, so enabling
+observability can never change simulation results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "LabelKey",
+]
+
+#: Canonical hashable form of a label set: sorted ``(key, value)`` pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total (float so airtime can accumulate)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A live value read through a zero-argument callback.
+
+    Gauges are pull-based: registering one costs nothing per event; the
+    recorder's periodic sampler calls :meth:`read` and appends the result
+    to the time series of the same ``(name, labels)``.
+    """
+
+    __slots__ = ("name", "labels", "fn")
+
+    def __init__(self, name: str, labels: LabelKey, fn: Callable[[], float]) -> None:
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+
+    def read(self) -> float:
+        return float(self.fn())
+
+
+class Histogram:
+    """Value distribution with nearest-rank quantiles.
+
+    Retains up to ``max_samples`` observations (further observations are
+    counted but not stored, so ``count`` stays exact while quantiles are
+    computed over the stored prefix — deterministic, no reservoir RNG).
+    """
+
+    __slots__ = ("name", "labels", "max_samples", "count", "total",
+                 "_min", "_max", "_samples")
+
+    def __init__(self, name: str, labels: LabelKey,
+                 max_samples: int = 100_000) -> None:
+        self.name = name
+        self.labels = labels
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile over the stored samples (``0 < q <= 1``)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside (0, 1]")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        # Nearest-rank: the smallest stored value whose cumulative share
+        # of the distribution is >= q (1-based rank ceil(q*n)).
+        rank = -int(-q * len(ordered) // 1)  # ceil without importing math
+        return ordered[min(len(ordered), max(1, rank)) - 1]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.quantile(0.99)
+
+
+class TimeSeries:
+    """Bounded ``(sim_time, value)`` trajectory (drops the oldest on
+    overflow so long runs keep the most recent window)."""
+
+    __slots__ = ("name", "labels", "points")
+
+    def __init__(self, name: str, labels: LabelKey,
+                 max_points: int = 65_536) -> None:
+        self.name = name
+        self.labels = labels
+        self.points: Deque[Tuple[float, float]] = deque(maxlen=max_points)
+
+    def append(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled metrics.
+
+    One registry belongs to one :class:`~repro.obs.recorder.Observability`
+    (i.e. one simulator); the getters are idempotent, so call sites never
+    need to cache handles for correctness — though hot paths may.
+    """
+
+    def __init__(self, max_points: int = 65_536,
+                 max_hist_samples: int = 100_000) -> None:
+        self.max_points = max_points
+        self.max_hist_samples = max_hist_samples
+        self._metrics: Dict[Tuple[str, str, LabelKey], Any] = {}
+        self._gauges: List[Gauge] = []
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Dict[str, Any],
+             factory: Callable[[str, LabelKey], Any]) -> Any:
+        key = (kind, name, _freeze_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[2])
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(
+            "histogram", name, labels,
+            lambda n, l: Histogram(n, l, self.max_hist_samples),
+        )
+
+    def timeseries(self, name: str, **labels: Any) -> TimeSeries:
+        return self._get(
+            "timeseries", name, labels,
+            lambda n, l: TimeSeries(n, l, self.max_points),
+        )
+
+    def gauge(self, name: str, fn: Callable[[], float],
+              **labels: Any) -> Gauge:
+        key = (("gauge", name, _freeze_labels(labels)))
+        gauge = self._metrics.get(key)
+        if gauge is None:
+            gauge = Gauge(name, key[2], fn)
+            self._metrics[key] = gauge
+            self._gauges.append(gauge)
+        return gauge
+
+    # ------------------------------------------------------------------
+    def sample_gauges(self, now: float) -> List[Tuple[TimeSeries, float]]:
+        """Read every gauge and append to its paired time series.
+
+        Returns the ``(series, value)`` pairs sampled, so a streaming sink
+        can mirror them.
+        """
+        sampled: List[Tuple[TimeSeries, float]] = []
+        for gauge in self._gauges:
+            value = gauge.read()
+            series = self.timeseries(gauge.name, **dict(gauge.labels))
+            series.append(now, value)
+            sampled.append((series, value))
+        return sampled
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str, name: Optional[str] = None) -> Iterator[Any]:
+        """All metrics of ``kind`` (``counter``/``gauge``/...), optionally
+        restricted to one name, in insertion order."""
+        for (k, n, _labels), metric in self._metrics.items():
+            if k == kind and (name is None or n == name):
+                yield metric
+
+    def counters(self, name: Optional[str] = None) -> Iterator[Counter]:
+        return self.of_kind("counter", name)
+
+    def histograms(self, name: Optional[str] = None) -> Iterator[Histogram]:
+        return self.of_kind("histogram", name)
+
+    def series(self, name: Optional[str] = None) -> Iterator[TimeSeries]:
+        return self.of_kind("timeseries", name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)

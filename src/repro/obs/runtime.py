@@ -1,0 +1,164 @@
+"""Ambient observability sessions.
+
+Exhibit ``run()`` callables build their
+:class:`~repro.net.deployment.Deployment` objects internally, so — exactly
+as with :class:`~repro.check.runtime.CheckSession` — telemetry cannot be
+threaded through arguments without editing every figure module.  An
+:class:`ObsSession` is installed as an ambient context instead;
+``Deployment.__init__`` consults :func:`active_obs_session` and, when one
+is active and no explicit ``obs=`` recorder was passed, asks the session
+for a fresh :class:`~repro.obs.recorder.Observability` (one per
+deployment — a single exhibit may build several rigs, e.g. one per CFD
+point).
+
+Sessions do not nest and are process-local (campaign worker processes
+install their own), so a module global suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .recorder import Observability
+from .sinks import SCHEMA_VERSION, Sink
+
+__all__ = ["ObsSession", "active_obs_session"]
+
+_ACTIVE: Optional["ObsSession"] = None
+
+
+def _metric_key(name: str, labels: Any) -> str:
+    """Stable flat key for snapshots: ``name{k=v,...}`` or bare name."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    rank = -int(-q * len(ordered) // 1)
+    return ordered[min(len(ordered), max(1, rank)) - 1]
+
+
+class ObsSession:
+    """One observed run: a recorder per deployment plus aggregation.
+
+    Parameters
+    ----------
+    sample_interval_s:
+        Gauge-sampler period handed to each recorder; ``None`` keeps only
+        event-driven telemetry (the cheap profile campaign jobs use).
+    sink:
+        Optional shared :class:`~repro.obs.sinks.Sink`; recorders stream
+        into it with distinct ``run`` ids, in construction order.
+    max_spans / max_points / max_hist_samples:
+        Per-recorder store bounds (see :class:`Observability`).
+    """
+
+    def __init__(
+        self,
+        sample_interval_s: Optional[float] = 0.01,
+        sink: Optional[Sink] = None,
+        max_spans: int = 200_000,
+        max_points: int = 65_536,
+        max_hist_samples: int = 100_000,
+    ) -> None:
+        self.sample_interval_s = sample_interval_s
+        self.sink = sink
+        self.max_spans = max_spans
+        self.max_points = max_points
+        self.max_hist_samples = max_hist_samples
+        #: Recorders of the deployments created inside the session, in
+        #: construction order.
+        self.recorders: List[Observability] = []
+
+    # ------------------------------------------------------------------
+    def make_observability(self) -> Observability:
+        """Build and register the recorder for one deployment."""
+        recorder = Observability(
+            sample_interval_s=self.sample_interval_s,
+            max_spans=self.max_spans,
+            max_points=self.max_points,
+            max_hist_samples=self.max_hist_samples,
+            sink=self.sink,
+            run_id=len(self.recorders),
+        )
+        self.recorders.append(recorder)
+        return recorder
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Aggregate the session's metrics into one JSON-safe dict.
+
+        Counters sum across recorders; histogram samples are pooled so
+        quantiles stay exact over the stored observations.  This is the
+        shape the campaign executor rolls into the result cache.
+        """
+        counters: Dict[str, float] = {}
+        pooled: Dict[str, List[float]] = {}
+        stats: Dict[str, Dict[str, float]] = {}
+        spans = 0
+        sim_time = 0.0
+        for recorder in self.recorders:
+            spans += len(recorder.spans)
+            sim_time += recorder.duration_s
+            for counter in recorder.registry.counters():
+                key = _metric_key(counter.name, counter.labels)
+                counters[key] = counters.get(key, 0.0) + counter.value
+            for hist in recorder.registry.histograms():
+                key = _metric_key(hist.name, hist.labels)
+                agg = stats.setdefault(
+                    key, {"count": 0, "total": 0.0,
+                          "min": float("inf"), "max": float("-inf")}
+                )
+                agg["count"] += hist.count
+                agg["total"] += hist.total
+                if hist.min is not None:
+                    agg["min"] = min(agg["min"], hist.min)
+                if hist.max is not None:
+                    agg["max"] = max(agg["max"], hist.max)
+                # Pool the stored samples across recorders: nearest-rank
+                # quantiles cannot be merged from per-recorder quantiles.
+                pooled.setdefault(key, []).extend(hist._samples)
+        histograms: Dict[str, Dict[str, float]] = {}
+        for key, agg in stats.items():
+            count = agg["count"]
+            summary: Dict[str, Any] = {
+                "count": count,
+                "mean": agg["total"] / count if count else 0.0,
+                "min": agg["min"] if count else None,
+                "max": agg["max"] if count else None,
+            }
+            samples = sorted(pooled.get(key, ()))
+            if samples:
+                summary["p50"] = _quantile(samples, 0.50)
+                summary["p95"] = _quantile(samples, 0.95)
+                summary["p99"] = _quantile(samples, 0.99)
+            histograms[key] = summary
+        return {
+            "schema": SCHEMA_VERSION,
+            "runs": len(self.recorders),
+            "sim_time_s": sim_time,
+            "spans": spans,
+            "counters": counters,
+            "histograms": histograms,
+        }
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ObsSession":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("obs sessions do not nest")
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+        for recorder in self.recorders:
+            recorder.finalize()
+
+
+def active_obs_session() -> Optional[ObsSession]:
+    """The currently installed session, or ``None``."""
+    return _ACTIVE

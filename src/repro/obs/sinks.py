@@ -1,0 +1,177 @@
+"""Telemetry sinks: bounded in-memory buffer and streaming JSONL writer.
+
+Records are plain dicts under a **versioned schema** (``SCHEMA_VERSION``);
+every JSONL stream starts with a ``manifest`` record naming the schema, the
+``repro`` version, the run parameters and the environment, so a file can be
+interpreted long after the code moved on.  Record kinds:
+
+- ``manifest`` — run metadata (first line of every export);
+- ``span``     — one completed interval (see :mod:`repro.obs.spans`);
+- ``point``    — one time-series sample (gauge sample or event-driven);
+- ``counter``  — final counter totals, emitted when a recorder finalises.
+
+Non-finite floats (a disabled CCA policy reports an infinite threshold)
+are serialised as ``None`` — JSON has no ``Infinity`` and downstream
+tooling should not have to guess.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import time
+from collections import deque
+from pathlib import Path
+from typing import IO, Any, Deque, Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "run_manifest",
+    "read_jsonl",
+]
+
+#: Version of the exported record schema.  Bump when record shapes change;
+#: consumers (``repro obs tail``, external tooling) key on it.
+SCHEMA_VERSION = 1
+
+
+def _sanitize(value: Any) -> Any:
+    """Make a record JSON-safe: non-finite floats become ``None``."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+class Sink:
+    """Interface: receives one record dict per telemetry event."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (idempotent)."""
+
+
+class MemorySink(Sink):
+    """Bounded in-memory buffer (oldest records dropped when full)."""
+
+    def __init__(self, max_records: int = 100_000) -> None:
+        self.max_records = max_records
+        self.records: Deque[Dict[str, Any]] = deque(maxlen=max_records)
+        self.dropped = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if len(self.records) == self.max_records:
+            self.dropped += 1
+        self.records.append(_sanitize(record))
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == kind]
+
+
+class JsonlSink(Sink):
+    """Streaming JSONL writer: one record per line, flushed per emit.
+
+    Streaming (rather than buffering until the end of the run) is what
+    makes ``repro obs tail`` useful on a run that is still executing —
+    and what keeps memory flat on fig-scale exports.
+    """
+
+    def __init__(self, path: str | Path, stream: Optional[IO[str]] = None) -> None:
+        self.path = Path(path)
+        self._owns_stream = stream is None
+        self._stream: Optional[IO[str]] = (
+            stream if stream is not None else open(self.path, "w", encoding="utf-8")
+        )
+        self.emitted = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._stream is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        json.dump(_sanitize(record), self._stream,
+                  separators=(",", ":"), sort_keys=True)
+        self._stream.write("\n")
+        self._stream.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _git_describe() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=5, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    describe = out.stdout.strip()
+    return describe or None
+
+
+def run_manifest(exhibit: Optional[str] = None, seed: Optional[int] = None,
+                 profile: Optional[str] = None,
+                 **extra: Any) -> Dict[str, Any]:
+    """The ``manifest`` record: everything needed to interpret an export.
+
+    Wall-clock time and git state are metadata only — they never feed back
+    into the simulation, so fixed-seed determinism is untouched.
+    """
+    from .. import __version__
+
+    manifest: Dict[str, Any] = {
+        "kind": "manifest",
+        "schema": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "git": _git_describe(),
+        "wall_time": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if exhibit is not None:
+        manifest["exhibit"] = exhibit
+    if seed is not None:
+        manifest["seed"] = seed
+    if profile is not None:
+        manifest["profile"] = profile
+    manifest.update(extra)
+    return manifest
+
+
+def read_jsonl(path: str | Path, last: Optional[int] = None,
+               kind: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Parse a JSONL export; optionally keep only the trailing ``last``
+    records and/or one record ``kind``.  Malformed lines are skipped (a
+    live file may end mid-line)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if kind is not None and record.get("kind") != kind:
+                continue
+            records.append(record)
+    if last is not None:
+        # Guard the -0 slice wart: records[-0:] is the whole list.
+        records = records[-last:] if last > 0 else []
+    return records

@@ -1,0 +1,77 @@
+"""Span records: named time intervals on a per-node timeline.
+
+The instrumented layers record four span kinds:
+
+- ``tx`` — radio transmit, start of TX to end-of-airtime;
+- ``rx`` — locked reception, preamble lock to finalisation (``crc`` arg)
+  or to abandonment (``aborted`` arg, half-duplex TX pre-emption);
+- ``backoff`` — one CSMA random backoff delay;
+- ``cca`` — the CCA measurement window that follows a backoff
+  (``busy`` arg carries the verdict).
+
+Spans are recorded *retrospectively* — at the moment the interval is known
+to have completed — so a cancelled transaction never leaves a phantom
+span.  The log is bounded: when full, the oldest spans are dropped and
+counted, so fig-scale runs with observability enabled cannot exhaust
+memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanLog"]
+
+
+class Span:
+    """One completed interval on a node's timeline."""
+
+    __slots__ = ("kind", "node", "start", "end", "args")
+
+    def __init__(self, kind: str, node: str, start: float, end: float,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        self.kind = kind
+        self.node = node
+        self.start = start
+        self.end = end
+        self.args = args if args is not None else {}
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span {self.kind} {self.node} "
+                f"[{self.start:.6f}, {self.end:.6f}]>")
+
+
+class SpanLog:
+    """Bounded, append-only store of completed spans."""
+
+    def __init__(self, max_spans: int = 200_000) -> None:
+        self.max_spans = max_spans
+        self._spans: Deque[Span] = deque(maxlen=max_spans)
+        #: Spans evicted because the log was full (oldest-first drop).
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        if len(self._spans) == self.max_spans:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def of_kind(self, kind: str) -> List[Span]:
+        return [s for s in self._spans if s.kind == kind]
+
+    def for_node(self, node: str) -> List[Span]:
+        return [s for s in self._spans if s.node == node]
+
+    def nodes(self) -> List[str]:
+        """Distinct node names, sorted (stable timeline thread order)."""
+        return sorted({s.node for s in self._spans})

@@ -1,0 +1,125 @@
+"""Human-readable metric summaries: per-node and per-channel tables.
+
+The ``repro obs summary`` CLI renders one node table and one channel
+table per recorder (one recorder per deployment the exhibit built) using
+the same :class:`~repro.experiments.results.ResultTable` shape as the
+paper exhibits, so output stays diff-friendly and plotting-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.results import ResultTable
+from .recorder import Observability
+
+__all__ = ["node_table", "channel_table", "summary_tables"]
+
+
+def _by_label(metrics, label: str) -> Dict[str, object]:
+    """Index an iterable of labelled metrics by one label's value."""
+    indexed: Dict[str, object] = {}
+    for metric in metrics:
+        value = dict(metric.labels).get(label)
+        if value is not None:
+            indexed[value] = metric
+    return indexed
+
+
+def _fmt_threshold(value: Optional[float]) -> Optional[float]:
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def node_table(recorder: Observability, title: str = "per-node metrics") -> ResultTable:
+    """One row per registered MAC: traffic, medium access, adaptation."""
+    table = ResultTable(title=title)
+    backoffs = _by_label(recorder.registry.histograms("mac.backoff_s"), "node")
+    airtimes = _by_label(recorder.registry.counters("node.tx.airtime_s"), "node")
+    thresholds = _by_label(
+        recorder.registry.series("adjustor.threshold_dbm"), "node"
+    )
+    duration = recorder.duration_s
+    for mac in recorder.macs:
+        name = mac.name
+        stats = mac.stats
+        backoff = backoffs.get(name)
+        airtime = airtimes.get(name)
+        airtime_s = airtime.value if airtime is not None else 0.0
+        series = thresholds.get(name)
+        threshold = None
+        if series is not None and series.last() is not None:
+            threshold = series.last()[1]
+        else:
+            threshold = mac.cca_policy.threshold_dbm()
+        table.add_row(
+            node=name,
+            ch=recorder.node_channels.get(name),
+            sent=stats.sent,
+            delivered=stats.delivered,
+            crc_fail=stats.crc_failures,
+            cca_busy_pct=100.0 * stats.cca_busy_ratio,
+            backoff_p50_ms=(backoff.p50 * 1e3
+                            if backoff is not None and backoff.p50 is not None
+                            else None),
+            backoff_p95_ms=(backoff.p95 * 1e3
+                            if backoff is not None and backoff.p95 is not None
+                            else None),
+            airtime_pct=(100.0 * airtime_s / duration if duration > 0 else 0.0),
+            thresh_dbm=_fmt_threshold(threshold),
+        )
+    if recorder.spans.dropped:
+        table.add_note(f"{recorder.spans.dropped} oldest spans dropped "
+                       f"(log bounded at {recorder.spans.max_spans})")
+    return table
+
+
+def channel_table(recorder: Observability,
+                  title: str = "per-channel metrics") -> ResultTable:
+    """One row per centre frequency: frame count, airtime, utilization."""
+    table = ResultTable(title=title)
+    frames = _by_label(recorder.registry.counters("tx.frames"), "channel")
+    airtimes = _by_label(recorder.registry.counters("tx.airtime_s"), "channel")
+    duration = recorder.duration_s
+    channels: List[Tuple[float, str]] = sorted(
+        (float(key), key) for key in set(frames) | set(airtimes)
+    )
+    for _sort_key, key in channels:
+        frame_counter = frames.get(key)
+        airtime_counter = airtimes.get(key)
+        airtime_s = airtime_counter.value if airtime_counter is not None else 0.0
+        table.add_row(
+            channel_mhz=float(key),
+            frames=int(frame_counter.value) if frame_counter is not None else 0,
+            airtime_s=airtime_s,
+            utilization_pct=(100.0 * airtime_s / duration
+                             if duration > 0 else 0.0),
+        )
+    nodes = sorted(
+        name for name, _ in _iter_channel_nodes(recorder)
+    )
+    if nodes:
+        table.add_note(f"window: {duration:.3f} s sim time, "
+                       f"{len(nodes)} radios")
+    return table
+
+
+def _iter_channel_nodes(recorder: Observability):
+    return recorder.node_channels.items()
+
+
+def summary_tables(recorders: List[Observability],
+                   exhibit: Optional[str] = None) -> List[ResultTable]:
+    """Node + channel tables for every recorder of a session."""
+    tables: List[ResultTable] = []
+    multiple = len(recorders) > 1
+    for recorder in recorders:
+        suffix = f" — run {recorder.run_id}" if multiple else ""
+        prefix = f"{exhibit}: " if exhibit else ""
+        tables.append(node_table(
+            recorder, title=f"{prefix}per-node metrics{suffix}"))
+        tables.append(channel_table(
+            recorder, title=f"{prefix}per-channel metrics{suffix}"))
+    return tables

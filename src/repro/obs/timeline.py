@@ -1,0 +1,131 @@
+"""Chrome ``trace_event`` export: open any run in Perfetto.
+
+The exported document follows the Trace Event Format (the JSON object
+form understood by ``chrome://tracing`` and https://ui.perfetto.dev):
+
+- one **process** (``pid``) per recorder — an exhibit that builds several
+  deployments (e.g. one per CFD point) exports each as its own process;
+- one **thread** (``tid``) per node, named via ``M`` metadata events so
+  the timeline shows ``N0``, ``N1``, ... lanes;
+- one ``X`` (complete duration) event per span, with sim time mapped to
+  microseconds (``ts``/``dur``);
+- one ``C`` (counter) track per time series and node — queue depth, CCA
+  threshold trajectory — so the adaptation the paper argues about is
+  visible directly above the packet timeline.
+
+Export is deterministic for a fixed-seed run: events are emitted in
+recorder order, then span-log order / series insertion order, with sorted
+JSON keys.  Non-finite counter values (a disabled CCA policy's infinite
+threshold) are skipped rather than emitted as ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .recorder import Observability
+
+__all__ = ["trace_events", "write_trace"]
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def _span_events(recorder: Observability, pid: int,
+                 tids: Dict[str, int]) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for span in recorder.spans:
+        event: Dict[str, Any] = {
+            "name": span.kind,
+            "cat": span.kind,
+            "ph": "X",
+            "pid": pid,
+            "tid": tids[span.node],
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+        }
+        if span.args:
+            event["args"] = dict(span.args)
+        events.append(event)
+    return events
+
+
+def _counter_events(recorder: Observability, pid: int) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for series in recorder.registry.series():
+        labels = dict(series.labels)
+        node = labels.pop("node", None)
+        track = f"{series.name} {node}" if node else series.name
+        for time, value in series.points:
+            if not math.isfinite(value):
+                continue
+            events.append({
+                "name": track,
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": time * _US,
+                "args": {"value": value},
+            })
+    return events
+
+
+def trace_events(
+    recorders: Sequence[Observability],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the trace document for one or more recorders.
+
+    ``metadata`` (typically a :func:`~repro.obs.sinks.run_manifest`) is
+    attached under the document's ``metadata`` key; omit it when byte
+    stability matters (golden-file tests) since manifests carry wall time.
+    """
+    events: List[Dict[str, Any]] = []
+    for pid, recorder in enumerate(recorders):
+        # Thread ids: every node the recorder knows about, whether or not
+        # it produced spans, in sorted order for a stable lane layout.
+        names = sorted(set(recorder.node_channels) | set(recorder.spans.nodes()))
+        tids = {name: index + 1 for index, name in enumerate(names)}
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"run {recorder.run_id}"},
+        })
+        for name, tid in tids.items():
+            label = name
+            channel = recorder.node_channels.get(name)
+            if channel is not None:
+                label = f"{name} @ {channel:g} MHz"
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            })
+        events.extend(_span_events(recorder, pid, tids))
+        events.extend(_counter_events(recorder, pid))
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata is not None:
+        document["metadata"] = metadata
+    return document
+
+
+def write_trace(
+    path: str | Path,
+    recorders: Sequence[Observability],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write the trace document to ``path``; returns the event count."""
+    document = trace_events(recorders, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])

@@ -10,6 +10,11 @@ The suite times the hot paths the PR-2 performance layer optimised:
 - ``cca_probe_brute``   — the pre-optimisation O(n·mask) re-summation,
   kept as the honest "before" reference (also used by the accumulator
   exactness tests);
+- ``obs_off_mini_run``  — a 2-node saturated run with telemetry *off*:
+  the guard-only cost every ordinary run pays (gated so obs-disabled
+  overhead regressions fail CI);
+- ``obs_on_mini_run``   — the same run fully instrumented (spans +
+  gauge sampling), recording the opt-in cost per frame;
 - ``fig19_fast``        — an end-to-end representative exhibit (skipped
   in ``--quick`` mode).
 
@@ -212,6 +217,43 @@ def _bench_cca_probe(n: int, brute: bool) -> Dict[str, Any]:
     return {"wall_s": wall, "n": n, "per_op_us": wall / n * 1e6}
 
 
+def _obs_mini_rig(obs=None):
+    """A 2-node saturated link — the smallest world exercising every
+    obs hook site (medium, CSMA, radio, adjustor guards)."""
+    from ..net.deployment import Deployment
+    from ..net.topology import LinkSpec, NetworkSpec, NodeSpec
+
+    spec = NetworkSpec(
+        label="N0",
+        channel_mhz=2460.0,
+        nodes=(
+            NodeSpec("N0.s0", (0.0, 0.0), 0.0),
+            NodeSpec("N0.r0", (1.5, 0.0), 0.0),
+        ),
+        links=(LinkSpec("N0.s0", "N0.r0"),),
+    )
+    deployment = Deployment([spec], seed=1, obs=obs)
+    deployment.start_traffic()
+    return deployment
+
+
+def _bench_obs_mini_run(enabled: bool, sim_s: float = 0.5) -> Dict[str, Any]:
+    """Wall time of a mini run with telemetry off (the guard-only path
+    every ordinary run pays) or fully on (spans + gauge sampling)."""
+    obs = None
+    if enabled:
+        from ..obs.recorder import Observability
+
+        obs = Observability(sample_interval_s=0.01)
+    deployment = _obs_mini_rig(obs)
+    t0 = time.perf_counter()
+    deployment.sim.run(sim_s)
+    wall = time.perf_counter() - t0
+    frames = deployment.node("N0.s0").mac.stats.sent
+    assert frames > 0
+    return {"wall_s": wall, "n": frames, "per_op_us": wall / frames * 1e6}
+
+
 def _bench_fig19_fast() -> Dict[str, Any]:
     from ..experiments.figures import fig19
 
@@ -256,6 +298,11 @@ def run_bench_suite(quick: bool = False, verbose: bool = True) -> Dict[str, Any]
         ("medium_fanout", lambda: _bench_medium_fanout(400)),
         ("cca_probe_brute", lambda: _bench_cca_probe(100_000, brute=True)),
         ("cca_probe", lambda: _bench_cca_probe(200_000, brute=False)),
+        # Telemetry guard cost: obs_off is what every ordinary run pays
+        # (the baseline gate fails CI when the disabled path regresses
+        # >25%); obs_on records the full-instrumentation cost per frame.
+        ("obs_off_mini_run", lambda: _bench_obs_mini_run(False)),
+        ("obs_on_mini_run", lambda: _bench_obs_mini_run(True)),
     ]
     plan = [(name, lambda fn=fn: _best_of(fn)) for name, fn in plan]
     if not quick:
@@ -284,6 +331,10 @@ def run_bench_suite(quick: bool = False, verbose: bool = True) -> Dict[str, Any]
     benches = doc["benches"]
     derived["cca_probe_speedup"] = (
         benches["cca_probe_brute"]["per_op_us"] / benches["cca_probe"]["per_op_us"]
+    )
+    derived["obs_enabled_overhead_ratio"] = (
+        benches["obs_on_mini_run"]["per_op_us"]
+        / benches["obs_off_mini_run"]["per_op_us"]
     )
     if "fig19_fast" in benches:
         derived["fig19_speedup_vs_seed"] = (

@@ -328,6 +328,9 @@ class Medium:
                 power=tx_power_dbm,
                 airtime=airtime,
             )
+        obs = sim.obs
+        if obs is not None:
+            obs.on_transmission(source.name, channel_mhz, airtime)
         floor = self.delivery_floor_dbm
         fading = self.fading
         delivered: List[Tuple["Radio", Signal]] = []

@@ -127,6 +127,8 @@ class Radio:
         #: differential oracle (``python -m repro check diff``).
         self._reference_accumulators = medium.reference_accumulators
         medium.register(self)
+        if sim.obs is not None:
+            sim.obs.register_radio(self)
 
     # ------------------------------------------------------------------
     # Listener plumbing
@@ -334,17 +336,25 @@ class Radio:
             raise RuntimeError(f"radio {self.name!r} is already transmitting")
         if self.state is RadioState.OFF:
             raise RuntimeError(f"radio {self.name!r} is off")
+        obs = self.sim.obs
         if self.current_reception is not None:
+            if obs is not None:
+                obs.on_rx_abort(
+                    self.name, self.current_reception.start_time, self.sim.now
+                )
             self.current_reception.abort()
             self.current_reception = None
             if self.sim.trace.enabled:
                 self.sim.trace.emit("rx_aborted_by_tx", radio=self.name)
         self.state = RadioState.TX
         self.energy.transition("tx", self.sim.now)
+        tx_start = self.sim.now
 
         def _finish(transmission: Transmission) -> None:
             self.state = RadioState.IDLE
             self.energy.transition("idle", self.sim.now)
+            if obs is not None:
+                obs.on_tx(self.name, tx_start, self.sim.now, frame.frame_id)
             on_complete(transmission)
 
         return self.medium.begin_transmission(
@@ -392,6 +402,12 @@ class Radio:
             outcome = reception.finalize()
             self.current_reception = None
             self._remove_signal(signal)
+            obs = self.sim.obs
+            if obs is not None:
+                obs.on_rx(
+                    self.name, reception.start_time, self.sim.now,
+                    outcome.frame.frame_id, outcome.crc_ok, outcome.rssi_dbm,
+                )
             self._dispatch_reception(outcome)
             return
         if self.current_reception is not None:

@@ -58,10 +58,17 @@ class Simulator:
         checker through the public :attr:`checks` attribute (``None``
         when disabled), so the disabled cost is one attribute load and
         an ``is None`` test per hook site.
+    obs:
+        Optional :class:`~repro.obs.recorder.Observability` telemetry
+        recorder.  Model layers reach it through the public :attr:`obs`
+        attribute under the same ``is None`` discipline as ``checks``;
+        passing a recorder binds it to this simulator (scheduling its
+        periodic gauge sampler, when one is configured).
     """
 
     def __init__(
-        self, trace: Optional[Trace] = None, checks: Any = None
+        self, trace: Optional[Trace] = None, checks: Any = None,
+        obs: Any = None,
     ) -> None:
         #: Current simulation time in seconds.  A plain attribute rather
         #: than a property: it is read on every event dispatch and inside
@@ -72,6 +79,9 @@ class Simulator:
         self._running = False
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.checks = _resolve_checks(checks)
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self)
 
     # ------------------------------------------------------------------
     # Clock and scheduling

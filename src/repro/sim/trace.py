@@ -8,9 +8,9 @@ tests that assert on event sequences.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, MutableSequence, Optional
 
 __all__ = ["TraceRecord", "Trace"]
 
@@ -29,12 +29,34 @@ class TraceRecord:
 
 
 class Trace:
-    """Collects :class:`TraceRecord` entries and named counters."""
+    """Collects :class:`TraceRecord` entries and named counters.
 
-    def __init__(self, enabled: bool = True, keep_records: bool = True) -> None:
+    Parameters
+    ----------
+    enabled / keep_records:
+        Master switch and whether individual records (vs just counters)
+        are retained.
+    max_records:
+        When set, :attr:`records` becomes a ring buffer of that capacity:
+        the oldest records are dropped (and counted on
+        :attr:`records_dropped`) so a long fig-scale run with tracing on
+        cannot exhaust memory.  ``None`` (the default) keeps the
+        historical unbounded-list behaviour.  Counters are never
+        affected, and :meth:`of_kind`/:meth:`last` see whatever is still
+        retained, across wraparound.
+    """
+
+    def __init__(self, enabled: bool = True, keep_records: bool = True,
+                 max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
         self.enabled = enabled
         self.keep_records = keep_records
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.records: MutableSequence[TraceRecord] = (
+            [] if max_records is None else deque(maxlen=max_records)
+        )
+        self.records_dropped = 0
         self.counters: Counter = Counter()
         self._clock = lambda: 0.0
 
@@ -54,6 +76,9 @@ class Trace:
             return
         self.counters[kind] += 1
         if self.keep_records:
+            if (self.max_records is not None
+                    and len(self.records) == self.max_records):
+                self.records_dropped += 1
             self.records.append(TraceRecord(self._clock(), kind, fields))
 
     def count(self, kind: str) -> int:
@@ -74,3 +99,4 @@ class Trace:
     def clear(self) -> None:
         self.records.clear()
         self.counters.clear()
+        self.records_dropped = 0

@@ -47,6 +47,32 @@ def test_seed_and_profile_separate_entries(tmp_path):
     assert cache.get(JobSpec.make("fig04", seed=1, fast=False)) is None
 
 
+def test_metrics_round_trip_and_backward_compat(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=1)
+    snap = {"schema": 1, "counters": {"tx.frames{channel=2460.0}": 12.0}}
+    cache.put(spec, sample_table(), 1.0, metrics=snap)
+    entry = cache.get(spec)
+    assert entry.metrics == snap
+    # entries without metrics (pre-obs caches) read back as None
+    other = JobSpec.make("fig04", seed=2)
+    cache.put(other, sample_table(), 1.0)
+    assert cache.get(other).metrics is None
+    payload = json.loads(cache.path_for(other).read_text())
+    assert "metrics" not in payload  # entry shape unchanged when absent
+
+
+def test_non_dict_metrics_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=1)
+    path = cache.put(spec, sample_table(), 1.0)
+    payload = json.loads(path.read_text())
+    payload["metrics"] = "garbage"
+    path.write_text(json.dumps(payload))
+    assert cache.get(spec) is None
+    assert not path.exists()  # evicted
+
+
 def test_corrupt_entry_is_a_miss_and_evicted(tmp_path):
     cache = ResultCache(tmp_path / "cache", version="0.1.0")
     spec = JobSpec.make("fig04", seed=1)

@@ -82,10 +82,11 @@ def test_campaign_run_and_status_and_clean(dummy_registry, tmp_path, capsys):
                    "--fast", "--quiet", "--cache-dir", cache_dir,
                    "--aggregate"])
     assert rc == 0
-    out = capsys.readouterr().out
-    assert "campaign: 4/4 ok" in out
-    assert "cache 0 hit / 4 miss" in out
-    assert "2 seeds" in out  # aggregated tables printed
+    captured = capsys.readouterr()
+    # summary line goes to stderr via ProgressPrinter.finish (even --quiet)
+    assert "campaign: 4/4 ok" in captured.err
+    assert "cache 0 hit / 4 miss" in captured.err
+    assert "2 seeds" in captured.out  # aggregated tables printed
 
     rc = cli.main(["campaign", "status", "--cache-dir", cache_dir])
     assert rc == 0
@@ -97,7 +98,7 @@ def test_campaign_run_and_status_and_clean(dummy_registry, tmp_path, capsys):
     rc = cli.main(["campaign", "run", "--seeds", "1,2", "--jobs", "1",
                    "--fast", "--quiet", "--cache-dir", cache_dir])
     assert rc == 0
-    assert "cache 4 hit / 0 miss" in capsys.readouterr().out
+    assert "cache 4 hit / 0 miss" in capsys.readouterr().err
 
     rc = cli.main(["campaign", "clean", "--cache-dir", cache_dir])
     assert rc == 0
@@ -108,7 +109,7 @@ def test_campaign_run_seed_range_and_subset(dummy_registry, tmp_path, capsys):
     rc = cli.main(["campaign", "run", "--ids", "d1", "--seeds", "1-3",
                    "--quiet", "--no-cache"])
     assert rc == 0
-    assert "campaign: 3/3 ok" in capsys.readouterr().out
+    assert "campaign: 3/3 ok" in capsys.readouterr().err
 
 
 def test_campaign_run_unknown_id(dummy_registry, capsys):
@@ -124,7 +125,7 @@ def test_campaign_run_reports_failures(dummy_registry, capsys):
                    "--retries", "0"])
     assert rc == 1
     captured = capsys.readouterr()
-    assert "1 failed" in captured.out
+    assert "1 failed" in captured.err
     assert "always fails" in captured.err
 
 
@@ -139,4 +140,4 @@ def test_version_bump_invalidates_cli_cache(dummy_registry, tmp_path, capsys):
                    "--quiet", "--cache-dir", str(cache_dir)])
     assert rc == 0
     # old-version entry was not served: this run was a miss
-    assert "cache 0 hit / 1 miss" in capsys.readouterr().out
+    assert "cache 0 hit / 1 miss" in capsys.readouterr().err

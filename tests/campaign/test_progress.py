@@ -60,10 +60,13 @@ def test_printer_tty_rewrites_in_place():
     assert "\r" in text and "(cache)" in text
 
 
-def test_printer_disabled_is_silent():
+def test_printer_disabled_suppresses_updates_but_not_summary():
     stream = io.StringIO()
     printer = ProgressPrinter(stream, enabled=False)
     stats = CampaignStats(total=1)
     printer.update(stats, "x", ok=True, from_cache=False, elapsed_s=0.0)
+    assert stream.getvalue() == ""  # per-job updates stay silent
     printer.finish(stats)
-    assert stream.getvalue() == ""
+    # ...but the final summary is always emitted (CI auditability)
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 1 and lines[0].startswith("campaign: ")

@@ -1,0 +1,15 @@
+"""Regenerate the golden trace_event export (deliberate changes only)::
+
+    PYTHONPATH=src python tests/obs/regen_golden.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from obs.test_timeline import GOLDEN, golden_text  # noqa: E402
+
+if __name__ == "__main__":
+    GOLDEN.write_text(golden_text())
+    print(f"wrote {GOLDEN}")

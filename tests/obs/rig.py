@@ -1,0 +1,37 @@
+"""A tiny deterministic 2-node rig shared by the obs tests.
+
+One network, one saturated link, fixed node positions (no topology RNG)
+— the smallest world that exercises every instrumented layer: medium
+fan-out, CSMA backoff/CCA, radio TX/RX, and (optionally) the DCN
+adjustor's threshold trajectory.
+"""
+
+from repro.core.dcn import DcnCcaPolicy
+from repro.net.deployment import Deployment
+from repro.net.topology import LinkSpec, NetworkSpec, NodeSpec
+
+__all__ = ["TWO_NODE_SPEC", "build_rig", "run_rig"]
+
+TWO_NODE_SPEC = NetworkSpec(
+    label="N0",
+    channel_mhz=2460.0,
+    nodes=(
+        NodeSpec("N0.s0", (0.0, 0.0), 0.0),
+        NodeSpec("N0.r0", (1.5, 0.0), 0.0),
+    ),
+    links=(LinkSpec("N0.s0", "N0.r0"),),
+)
+
+
+def build_rig(seed=1, obs=None, dcn=False):
+    policy_factory = (lambda _label, _node: DcnCcaPolicy()) if dcn else None
+    return Deployment(
+        [TWO_NODE_SPEC], seed=seed, policy_factory=policy_factory, obs=obs
+    )
+
+
+def run_rig(seed=1, obs=None, run_s=0.05, dcn=False):
+    deployment = build_rig(seed=seed, obs=obs, dcn=dcn)
+    deployment.start_traffic()
+    deployment.sim.run(run_s)
+    return deployment

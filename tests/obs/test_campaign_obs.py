@@ -1,0 +1,61 @@
+"""Campaign integration: obs snapshots ride on outcomes and the cache."""
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import run_campaign
+from repro.campaign.jobs import JobSpec
+from repro.experiments.results import ResultTable
+from repro.obs.sinks import SCHEMA_VERSION
+
+from .rig import run_rig
+
+
+def rig_runner(spec):
+    deployment = run_rig(seed=spec.seed, run_s=0.05)
+    table = ResultTable(f"rig seed={spec.seed}")
+    table.add_row(seed=spec.seed,
+                  sent=deployment.node("N0.s0").mac.stats.sent)
+    return table
+
+
+def test_obs_campaign_attaches_metrics(tmp_path):
+    result = run_campaign(
+        [JobSpec.make("rig", seed=1)], cache=False, runner=rig_runner,
+        obs=True,
+    )
+    outcome = result.outcome("rig", 1)
+    assert outcome.ok
+    snap = outcome.metrics
+    assert snap is not None
+    assert snap["schema"] == SCHEMA_VERSION
+    assert snap["runs"] == 1 and snap["spans"] > 0
+    assert any(key.startswith("tx.frames{") for key in snap["counters"])
+
+
+def test_obs_disabled_leaves_metrics_none(tmp_path):
+    result = run_campaign(
+        [JobSpec.make("rig", seed=1)], cache=False, runner=rig_runner,
+    )
+    assert result.outcome("rig", 1).metrics is None
+
+
+def test_obs_metrics_round_trip_through_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="1")
+    jobs = [JobSpec.make("rig", seed=1)]
+    first = run_campaign(jobs, cache=cache, runner=rig_runner, obs=True)
+    snap = first.outcome("rig", 1).metrics
+    assert snap is not None
+
+    # warm re-run: the cached entry supplies both table and snapshot
+    second = run_campaign(jobs, cache=cache, runner=rig_runner, obs=True)
+    outcome = second.outcome("rig", 1)
+    assert outcome.from_cache
+    assert outcome.metrics == snap
+
+
+def test_obs_result_unchanged_by_telemetry(tmp_path):
+    """A job's table is byte-identical with and without ``obs=True``."""
+    jobs = [JobSpec.make("rig", seed=3)]
+    plain = run_campaign(jobs, cache=False, runner=rig_runner)
+    observed = run_campaign(jobs, cache=False, runner=rig_runner, obs=True)
+    assert (plain.outcome("rig", 3).table.to_dict()
+            == observed.outcome("rig", 3).table.to_dict())

@@ -1,0 +1,179 @@
+"""Unit + property tests for the metric primitives and registry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    _freeze_labels,
+)
+
+
+# ----------------------------------------------------------------------
+# Counter
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    counter = Counter("tx.frames", ())
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        counter.inc(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Histogram
+
+
+def test_histogram_empty_quantiles_are_none():
+    hist = Histogram("h", ())
+    assert hist.count == 0
+    assert hist.p50 is None and hist.p95 is None and hist.p99 is None
+    assert hist.min is None and hist.max is None
+    assert hist.mean == 0.0
+
+
+def test_histogram_basic_stats():
+    hist = Histogram("h", ())
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.min == 1.0 and hist.max == 4.0
+    assert hist.mean == 2.5
+    assert hist.p50 == 2.0  # nearest-rank: ceil(0.5*4) = rank 2
+    assert hist.quantile(1.0) == 4.0
+
+
+def test_histogram_quantile_domain():
+    hist = Histogram("h", ())
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(0.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_caps_samples_but_counts_exactly():
+    hist = Histogram("h", (), max_samples=10)
+    for i in range(25):
+        hist.observe(float(i))
+    assert hist.count == 25
+    assert len(hist._samples) == 10
+    assert hist.max == 24.0  # min/max track every observation
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=200))
+def test_histogram_quantiles_are_ordered_and_bounded(values):
+    """p50 <= p95 <= p99, all within [min, max] (satellite property)."""
+    hist = Histogram("h", ())
+    for value in values:
+        hist.observe(value)
+    p50, p95, p99 = hist.p50, hist.p95, hist.p99
+    assert hist.min <= p50 <= p95 <= p99 <= hist.max
+    # every quantile is an actually-observed value (nearest-rank)
+    assert p50 in values and p95 in values and p99 in values
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=100),
+       st.floats(min_value=0.001, max_value=1.0))
+def test_histogram_quantile_matches_nearest_rank_definition(values, q):
+    hist = Histogram("h", ())
+    for value in values:
+        hist.observe(value)
+    result = hist.quantile(q)
+    ordered = sorted(values)
+    # nearest-rank: smallest value with cumulative share >= q
+    at_least = sum(1 for v in ordered if v <= result)
+    assert at_least / len(ordered) >= q or result == ordered[0]
+    # ...and the next-smaller stored value would not satisfy q
+    index = ordered.index(result)
+    if index > 0:
+        assert index / len(ordered) < q
+
+
+# ----------------------------------------------------------------------
+# TimeSeries
+
+
+def test_timeseries_bounded_keeps_most_recent():
+    series = TimeSeries("s", (), max_points=3)
+    for i in range(5):
+        series.append(float(i), float(i) * 10)
+    assert len(series) == 3
+    assert list(series.points) == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+    assert series.last() == (4.0, 40.0)
+
+
+def test_timeseries_empty_last_is_none():
+    assert TimeSeries("s", ()).last() is None
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    a = registry.counter("tx.frames", channel=2460.0)
+    b = registry.counter("tx.frames", channel=2460.0)
+    assert a is b
+    assert registry.counter("tx.frames", channel=2465.0) is not a
+    # same name, different kind -> distinct metric objects
+    registry.histogram("tx.frames")
+    assert len(registry) == 3
+
+
+def test_registry_label_order_does_not_matter():
+    registry = MetricsRegistry()
+    a = registry.counter("c", node="n0", channel=2460.0)
+    b = registry.counter("c", channel=2460.0, node="n0")
+    assert a is b
+    assert a.labels == _freeze_labels({"node": "n0", "channel": 2460.0})
+
+
+def test_registry_of_kind_filters():
+    registry = MetricsRegistry()
+    registry.counter("a")
+    registry.counter("b")
+    registry.histogram("a")
+    assert len(list(registry.counters())) == 2
+    assert len(list(registry.counters("a"))) == 1
+    assert len(list(registry.histograms())) == 1
+
+
+def test_gauge_sampling_feeds_paired_series():
+    registry = MetricsRegistry()
+    state = {"v": 1.0}
+    registry.gauge("depth", lambda: state["v"], node="n0")
+    sampled = registry.sample_gauges(0.5)
+    state["v"] = 2.0
+    registry.sample_gauges(1.0)
+    assert len(sampled) == 1
+    series = next(registry.series("depth"))
+    assert list(series.points) == [(0.5, 1.0), (1.0, 2.0)]
+
+
+def test_gauge_registration_idempotent():
+    registry = MetricsRegistry()
+    a = registry.gauge("g", lambda: 0.0, node="n0")
+    b = registry.gauge("g", lambda: 1.0, node="n0")
+    assert a is b  # first registration wins
+    assert len(registry.sample_gauges(0.0)) == 1
+
+
+def test_registry_bounds_propagate():
+    registry = MetricsRegistry(max_points=2, max_hist_samples=3)
+    series = registry.timeseries("s")
+    for i in range(5):
+        series.append(float(i), 0.0)
+    assert len(series) == 2
+    hist = registry.histogram("h")
+    for i in range(5):
+        hist.observe(float(i))
+    assert len(hist._samples) == 3 and hist.count == 5

@@ -1,0 +1,120 @@
+"""Tests for the per-simulator Observability recorder."""
+
+import pytest
+
+from repro.obs.recorder import Observability
+from repro.obs.sinks import MemorySink
+from repro.sim.simulator import Simulator
+
+
+def test_bind_is_single_use():
+    recorder = Observability(sample_interval_s=None)
+    Simulator(obs=recorder)
+    with pytest.raises(ValueError, match="exactly one simulator"):
+        Simulator(obs=recorder)
+
+
+def test_invalid_sample_interval_rejected():
+    with pytest.raises(ValueError):
+        Observability(sample_interval_s=0.0)
+    with pytest.raises(ValueError):
+        Observability(sample_interval_s=-1.0)
+
+
+def test_sampler_terminates_with_run_until_idle():
+    recorder = Observability(sample_interval_s=0.01)
+    sim = Simulator(obs=recorder)
+    sim.schedule(0.035, lambda: None)
+    sim.run_until_idle()  # must not spin forever on the sampler re-arming
+    assert recorder.samples_taken >= 3
+    assert sim.pending_events <= 1  # at most the final, never-rearmed tick
+
+
+def test_sampler_disabled_schedules_nothing():
+    recorder = Observability(sample_interval_s=None)
+    sim = Simulator(obs=recorder)
+    assert sim.pending_events == 0
+    sim.run_until_idle()
+    assert recorder.samples_taken == 0
+
+
+def test_sampler_mirrors_gauge_points_to_sink():
+    sink = MemorySink()
+    recorder = Observability(sample_interval_s=0.01, sink=sink)
+    sim = Simulator(obs=recorder)
+    recorder.registry.gauge("depth", lambda: 4.0, node="n0")
+    sim.schedule(0.025, lambda: None)
+    sim.run_until_idle()
+    points = sink.of_kind("point")
+    assert points and all(p["name"] == "depth" for p in points)
+    assert points[0]["v"] == 4.0
+    assert points[0]["labels"] == {"node": "n0"}
+
+
+def test_span_hooks_record_and_stream():
+    sink = MemorySink()
+    recorder = Observability(sample_interval_s=None, sink=sink, run_id=3)
+    Simulator(obs=recorder)
+    recorder.on_tx("n0", 0.0, 0.004, frame_id=7)
+    recorder.on_rx("n1", 0.0, 0.004, frame_id=7, crc_ok=True, rssi_dbm=-60.0)
+    recorder.on_rx_abort("n1", 0.01, 0.012)
+    assert [s.kind for s in recorder.spans] == ["tx", "rx", "rx"]
+    assert recorder.spans.of_kind("tx")[0].args == {"frame": 7}
+    aborted = recorder.spans.of_kind("rx")[1]
+    assert aborted.args == {"aborted": True}
+    rssi = next(recorder.registry.histograms("rx.rssi_dbm"))
+    assert rssi.count == 1 and rssi.min == -60.0
+    streamed = sink.of_kind("span")
+    assert len(streamed) == 3 and all(r["run"] == 3 for r in streamed)
+
+
+def test_on_cca_records_backoff_then_cca():
+    recorder = Observability(sample_interval_s=None)
+    Simulator(obs=recorder)
+    recorder.on_cca("n0", backoff_start=1.0, backoff_s=0.002,
+                    cca_s=0.000128, busy=True)
+    backoff, cca = list(recorder.spans)
+    assert (backoff.kind, cca.kind) == ("backoff", "cca")
+    assert backoff.end == cca.start == 1.002
+    assert cca.args == {"busy": True}
+    hist = next(recorder.registry.histograms("mac.backoff_s"))
+    assert hist.count == 1
+    busy = next(recorder.registry.counters("mac.cca_busy"))
+    assert busy.value == 1.0
+
+
+def test_on_transmission_fills_channel_and_node_counters():
+    recorder = Observability(sample_interval_s=None)
+    Simulator(obs=recorder)
+    recorder.on_transmission("n0", 2460.0, 0.004)
+    recorder.on_transmission("n0", 2460.0, 0.004)
+    by_channel = next(recorder.registry.counters("tx.frames"))
+    assert by_channel.value == 2.0
+    airtime = next(recorder.registry.counters("node.tx.airtime_s"))
+    assert airtime.value == pytest.approx(0.008)
+
+
+def test_finalize_freezes_window_and_flushes_counters():
+    sink = MemorySink()
+    recorder = Observability(sample_interval_s=None, sink=sink)
+    sim = Simulator(obs=recorder)
+    recorder.on_transmission("n0", 2460.0, 0.004)
+    sim.schedule(0.5, lambda: None)
+    sim.run_until_idle()
+    assert recorder.duration_s == 0.5  # live window tracks the clock
+    recorder.finalize()
+    assert recorder.end_time == 0.5
+    counters = sink.of_kind("counter")
+    assert {c["name"] for c in counters} >= {"tx.frames", "node.tx.frames"}
+
+
+def test_on_threshold_is_event_driven_series():
+    sink = MemorySink()
+    recorder = Observability(sample_interval_s=None, sink=sink)
+    sim = Simulator(obs=recorder)
+    sim.schedule(0.1, lambda: recorder.on_threshold("n0", -75.0))
+    sim.run_until_idle()
+    series = next(recorder.registry.series("adjustor.threshold_dbm"))
+    assert list(series.points) == [(0.1, -75.0)]
+    point = sink.of_kind("point")[0]
+    assert point["t"] == 0.1 and point["v"] == -75.0

@@ -1,0 +1,113 @@
+"""Tests for telemetry sinks, the run manifest and JSONL parsing."""
+
+import json
+import math
+
+import pytest
+
+import repro
+from repro.obs.sinks import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    _sanitize,
+    read_jsonl,
+    run_manifest,
+)
+
+
+# ----------------------------------------------------------------------
+# Sanitisation
+
+
+def test_sanitize_replaces_non_finite_floats():
+    record = {
+        "v": float("inf"),
+        "nested": {"w": float("nan"), "ok": 1.5},
+        "seq": [float("-inf"), 2.0],
+        "s": "text",
+    }
+    clean = _sanitize(record)
+    assert clean == {"v": None, "nested": {"w": None, "ok": 1.5},
+                     "seq": [None, 2.0], "s": "text"}
+    json.dumps(clean)  # must be strictly JSON-safe
+
+
+# ----------------------------------------------------------------------
+# MemorySink
+
+
+def test_memory_sink_bounded_and_filterable():
+    sink = MemorySink(max_records=2)
+    sink.emit({"kind": "a", "i": 0})
+    sink.emit({"kind": "b", "i": 1})
+    sink.emit({"kind": "b", "i": 2})
+    assert sink.dropped == 1
+    assert [r["i"] for r in sink.records] == [1, 2]
+    assert [r["i"] for r in sink.of_kind("b")] == [1, 2]
+    assert sink.of_kind("a") == []
+
+
+# ----------------------------------------------------------------------
+# JsonlSink
+
+
+def test_jsonl_sink_round_trip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit({"kind": "span", "t0": 0.0, "t1": 1.0})
+        sink.emit({"kind": "point", "v": float("inf")})
+        assert sink.emitted == 2
+    records = read_jsonl(path)
+    assert len(records) == 2
+    assert records[1]["v"] is None  # sanitised on write
+    # compact one-record-per-line framing
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2 and ": " not in lines[0]
+
+
+def test_jsonl_sink_closed_raises(tmp_path):
+    sink = JsonlSink(tmp_path / "x.jsonl")
+    sink.close()
+    sink.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        sink.emit({"kind": "span"})
+
+
+def test_read_jsonl_kind_last_and_malformed(tmp_path):
+    path = tmp_path / "run.jsonl"
+    lines = [json.dumps({"kind": "span", "i": i}) for i in range(4)]
+    lines.insert(2, "{not json")  # a live file may end mid-line
+    lines.append(json.dumps({"kind": "counter", "i": 99}))
+    path.write_text("\n".join(lines) + "\n")
+    assert len(read_jsonl(path)) == 5
+    spans = read_jsonl(path, kind="span")
+    assert [r["i"] for r in spans] == [0, 1, 2, 3]
+    assert [r["i"] for r in read_jsonl(path, last=2, kind="span")] == [2, 3]
+    assert read_jsonl(path, last=0) == []  # not the whole file ([-0:] wart)
+    assert read_jsonl(path, last=-2) == []
+
+
+# ----------------------------------------------------------------------
+# Manifest
+
+
+def test_run_manifest_names_schema_and_version():
+    manifest = run_manifest(exhibit="fig04", seed=3, profile="fast",
+                            jobs=2)
+    assert manifest["kind"] == "manifest"
+    assert manifest["schema"] == SCHEMA_VERSION
+    assert manifest["repro_version"] == repro.__version__
+    assert manifest["exhibit"] == "fig04"
+    assert manifest["seed"] == 3
+    assert manifest["profile"] == "fast"
+    assert manifest["jobs"] == 2  # extra kwargs ride along
+    assert "wall_time" in manifest
+    json.dumps(manifest)  # git may be None; still JSON-safe
+
+
+def test_run_manifest_optional_fields_omitted():
+    manifest = run_manifest()
+    assert "exhibit" not in manifest
+    assert "seed" not in manifest
+    assert "profile" not in manifest

@@ -1,0 +1,37 @@
+"""Unit tests for the bounded span log."""
+
+from repro.obs.spans import Span, SpanLog
+
+
+def _span(kind="tx", node="n0", start=0.0, end=1.0, **args):
+    return Span(kind, node, start, end, args or None)
+
+
+def test_span_duration_and_args():
+    span = _span(start=0.25, end=0.75, frame=7)
+    assert span.duration == 0.5
+    assert span.args == {"frame": 7}
+    assert _span().args == {}
+
+
+def test_spanlog_records_and_filters():
+    log = SpanLog()
+    log.record(_span("tx", "a"))
+    log.record(_span("rx", "b"))
+    log.record(_span("tx", "b"))
+    assert len(log) == 3
+    assert [s.node for s in log.of_kind("tx")] == ["a", "b"]
+    assert [s.kind for s in log.for_node("b")] == ["rx", "tx"]
+    assert log.nodes() == ["a", "b"]
+
+
+def test_spanlog_bounded_drops_oldest_and_counts():
+    log = SpanLog(max_spans=2)
+    log.record(_span(node="a"))
+    log.record(_span(node="b"))
+    assert log.dropped == 0
+    log.record(_span(node="c"))
+    assert log.dropped == 1
+    assert [s.node for s in log] == ["b", "c"]
+    # filters see only what's retained
+    assert log.nodes() == ["b", "c"]

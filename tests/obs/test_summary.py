@@ -1,0 +1,90 @@
+"""Per-node / per-channel summary tables on the tiny rig."""
+
+import math
+
+from repro.obs.recorder import Observability
+from repro.obs.summary import channel_table, node_table, summary_tables
+from repro.sim.simulator import Simulator
+
+from .rig import run_rig
+
+
+def observed_recorder(dcn=False):
+    recorder = Observability(sample_interval_s=0.01)
+    run_rig(seed=1, obs=recorder, run_s=0.05, dcn=dcn)
+    recorder.finalize()
+    return recorder
+
+
+def test_node_table_one_row_per_mac():
+    recorder = observed_recorder()
+    table = node_table(recorder)
+    rows = {row["node"]: row for row in table.rows}
+    assert set(rows) == {"N0.s0", "N0.r0"}
+    sender = rows["N0.s0"]
+    assert sender["ch"] == 2460.0
+    assert sender["sent"] > 0
+    assert sender["delivered"] >= 0
+    assert sender["backoff_p50_ms"] is not None
+    assert sender["backoff_p50_ms"] <= sender["backoff_p95_ms"]
+    assert 0.0 < sender["airtime_pct"] <= 100.0
+    assert sender["thresh_dbm"] == -77.0  # fixed ZigBee default
+    receiver = rows["N0.r0"]
+    assert receiver["sent"] == 0
+    assert receiver["airtime_pct"] == 0.0
+
+
+def test_node_table_dcn_uses_trajectory_value():
+    recorder = observed_recorder(dcn=True)
+    table = node_table(recorder)
+    sender = next(r for r in table.rows if r["node"] == "N0.s0")
+    series = {tuple(dict(s.labels).items()): s
+              for s in recorder.registry.series("adjustor.threshold_dbm")}
+    expected = series[(("node", "N0.s0"),)].last()[1]
+    assert sender["thresh_dbm"] == expected
+    assert math.isfinite(sender["thresh_dbm"])
+
+
+def test_node_table_infinite_threshold_sanitised():
+    recorder = Observability(sample_interval_s=None)
+    run_rig(seed=1, obs=recorder, run_s=0.01)
+    recorder.finalize()
+    # simulate a DisabledCca-style policy reporting +inf
+    recorder.macs[0].cca_policy.threshold_dbm = lambda: float("inf")
+    table = node_table(recorder)
+    row = next(r for r in table.rows if r["node"] == recorder.macs[0].name)
+    assert row["thresh_dbm"] is None
+
+
+def test_channel_table_utilization_consistent():
+    recorder = observed_recorder()
+    table = channel_table(recorder)
+    assert len(table.rows) == 1
+    row = table.rows[0]
+    assert row["channel_mhz"] == 2460.0
+    assert row["frames"] > 0
+    expected = 100.0 * row["airtime_s"] / recorder.duration_s
+    assert abs(row["utilization_pct"] - expected) < 1e-9
+    assert any("2 radios" in note for note in table.notes)
+
+
+def test_summary_tables_suffix_only_when_multiple():
+    recorder = observed_recorder()
+    single = summary_tables([recorder], exhibit="x")
+    assert [t.title for t in single] == [
+        "x: per-node metrics", "x: per-channel metrics",
+    ]
+    other = Observability(sample_interval_s=None, run_id=1)
+    Simulator(obs=other)
+    double = summary_tables([recorder, other])
+    assert double[0].title == "per-node metrics — run 0"
+    assert double[2].title == "per-node metrics — run 1"
+
+
+def test_node_table_notes_dropped_spans():
+    recorder = Observability(sample_interval_s=None, max_spans=5)
+    run_rig(seed=1, obs=recorder, run_s=0.05)
+    recorder.finalize()
+    assert recorder.spans.dropped > 0
+    table = node_table(recorder)
+    assert any("spans dropped" in note for note in table.notes)

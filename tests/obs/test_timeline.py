@@ -1,0 +1,116 @@
+"""Chrome trace_event export: structure checks and a golden-file test.
+
+The golden file pins the exact export of a tiny fixed-seed 2-node run
+(fig04-style: one saturated link on one channel).  Any change to span
+instrumentation, event ordering or the export format shows up as a
+readable JSON diff.  Regenerate deliberately with::
+
+    PYTHONPATH=src python tests/obs/regen_golden.py
+"""
+
+import json
+import math
+from pathlib import Path
+
+from repro.obs.recorder import Observability
+from repro.obs.timeline import trace_events, write_trace
+from repro.sim.simulator import Simulator
+
+from .rig import run_rig
+
+GOLDEN = Path(__file__).with_name("golden_timeline.json")
+
+
+def golden_document():
+    """The deterministic document the golden file pins (no manifest —
+    manifests carry wall time)."""
+    from repro.phy.frame import reset_frame_ids
+
+    reset_frame_ids()  # span args carry frame ids (process-global counter)
+    recorder = Observability(sample_interval_s=0.01)
+    run_rig(seed=1, obs=recorder, run_s=0.02, dcn=True)
+    recorder.finalize()
+    return trace_events([recorder])
+
+
+def golden_text():
+    return json.dumps(golden_document(), indent=1, sort_keys=True) + "\n"
+
+
+def test_golden_timeline_export():
+    assert GOLDEN.is_file(), (
+        "golden file missing — run tests/obs/regen_golden.py"
+    )
+    assert golden_text() == GOLDEN.read_text()
+
+
+def test_trace_document_structure():
+    document = golden_document()
+    events = document["traceEvents"]
+    assert document["displayTimeUnit"] == "ms"
+    assert "metadata" not in document
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "C", "X"}
+    # one process per recorder, one named thread lane per node
+    process_names = [e for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"]
+    assert [e["args"]["name"] for e in process_names] == ["run 0"]
+    thread_names = [e["args"]["name"] for e in events
+                    if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert thread_names == ["N0.r0 @ 2460 MHz", "N0.s0 @ 2460 MHz"]
+    # span events reference declared threads; times are microseconds
+    tids = {e["tid"] for e in events if e["ph"] == "M" and e["tid"] != 0}
+    for event in events:
+        if event["ph"] == "X":
+            assert event["tid"] in tids
+            assert 0.0 <= event["ts"] <= 0.02 * 1e6
+            assert event["dur"] >= 0.0
+    # counter tracks exist for sampled gauges and the DCN trajectory
+    counter_tracks = {e["name"] for e in events if e["ph"] == "C"}
+    assert "queue_depth N0.s0" in counter_tracks
+    assert "adjustor.threshold_dbm N0.s0" in counter_tracks
+    assert all(math.isfinite(e["args"]["value"]) for e in events
+               if e["ph"] == "C")
+
+
+def test_metadata_attached_when_given():
+    recorder = Observability(sample_interval_s=None)
+    Simulator(obs=recorder)
+    document = trace_events([recorder], metadata={"exhibit": "x"})
+    assert document["metadata"] == {"exhibit": "x"}
+
+
+def test_multiple_recorders_get_distinct_pids():
+    recorders = []
+    for run_id in range(2):
+        recorder = Observability(sample_interval_s=None, run_id=run_id)
+        Simulator(obs=recorder)
+        recorder.on_tx(f"n{run_id}", 0.0, 0.001, frame_id=run_id)
+        recorders.append(recorder)
+    events = trace_events(recorders)["traceEvents"]
+    assert {e["pid"] for e in events} == {0, 1}
+    names = [e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"]
+    assert names == ["run 0", "run 1"]
+
+
+def test_non_finite_counter_points_skipped():
+    recorder = Observability(sample_interval_s=None)
+    Simulator(obs=recorder)
+    series = recorder.registry.timeseries("thresh", node="n0")
+    series.append(0.0, float("inf"))
+    series.append(0.1, -70.0)
+    events = trace_events([recorder])["traceEvents"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert len(counters) == 1 and counters[0]["args"]["value"] == -70.0
+
+
+def test_write_trace_round_trips(tmp_path):
+    recorder = Observability(sample_interval_s=None)
+    Simulator(obs=recorder)
+    recorder.on_tx("n0", 0.0, 0.004, frame_id=1)
+    path = tmp_path / "trace.json"
+    count = write_trace(path, [recorder], metadata={"exhibit": "t"})
+    document = json.loads(path.read_text())
+    assert len(document["traceEvents"]) == count
+    assert document["metadata"] == {"exhibit": "t"}

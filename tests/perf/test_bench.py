@@ -20,6 +20,8 @@ QUICK_BENCHES = {
     "medium_fanout",
     "cca_probe",
     "cca_probe_brute",
+    "obs_off_mini_run",
+    "obs_on_mini_run",
 }
 
 
@@ -47,6 +49,16 @@ def test_cca_probe_speedup_meets_acceptance_floor(quick_doc):
     """ISSUE acceptance: the incremental sensing-path probe must be at
     least 5x faster than the brute-force re-summation it replaced."""
     assert quick_doc["derived"]["cca_probe_speedup"] >= 5.0
+
+
+def test_obs_guard_cost_is_benchmarked(quick_doc):
+    """Both telemetry regimes are measured; the derived ratio relates
+    the fully-instrumented run to the guard-only (disabled) run."""
+    off = quick_doc["benches"]["obs_off_mini_run"]
+    on = quick_doc["benches"]["obs_on_mini_run"]
+    ratio = quick_doc["derived"]["obs_enabled_overhead_ratio"]
+    assert ratio == pytest.approx(on["per_op_us"] / off["per_op_us"])
+    assert ratio > 0.0
 
 
 def test_baseline_roundtrip(tmp_path, quick_doc):

@@ -58,3 +58,56 @@ def test_record_str_renders():
     trace.emit("tx", node="a", power=0)
     text = str(trace.records[0])
     assert "tx" in text and "node=a" in text
+
+
+# ----------------------------------------------------------------------
+# Ring-buffer mode (max_records)
+
+
+def test_max_records_must_be_positive():
+    import pytest
+
+    with pytest.raises(ValueError, match="max_records"):
+        Trace(max_records=0)
+    with pytest.raises(ValueError, match="max_records"):
+        Trace(max_records=-5)
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    trace = Trace(max_records=3)
+    for i in range(5):
+        trace.emit("tx", i=i)
+    assert trace.records_dropped == 2
+    assert [r.fields["i"] for r in trace.records] == [2, 3, 4]
+    # counters are exact regardless of eviction
+    assert trace.count("tx") == 5
+
+
+def test_ring_buffer_of_kind_and_last_across_wraparound():
+    trace = Trace(max_records=4)
+    for i in range(6):
+        trace.emit("tx" if i % 2 == 0 else "rx", i=i)
+    # retained window is i = 2..5
+    assert [r.fields["i"] for r in trace.of_kind("tx")] == [2, 4]
+    assert trace.last("rx").fields["i"] == 5
+    assert trace.last("tx").fields["i"] == 4
+
+
+def test_ring_buffer_clear_resets_drop_counter():
+    trace = Trace(max_records=1)
+    trace.emit("x")
+    trace.emit("x")
+    assert trace.records_dropped == 1
+    trace.clear()
+    assert trace.records_dropped == 0
+    assert len(trace.records) == 0
+    trace.emit("x")
+    assert [r.kind for r in trace.records] == ["x"]
+
+
+def test_unbounded_default_never_drops():
+    trace = Trace()
+    for _ in range(100):
+        trace.emit("x")
+    assert trace.records_dropped == 0
+    assert len(trace.records) == 100
