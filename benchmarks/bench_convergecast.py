@@ -1,0 +1,9 @@
+"""Benchmark regenerating the convergecast exhibit: multi-hop delay/delivery."""
+
+from _util import run_exhibit
+
+
+def test_convergecast(benchmark):
+    table = run_exhibit(benchmark, "convergecast")
+    print()
+    print(table.to_text())

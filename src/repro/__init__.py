@@ -9,7 +9,8 @@ The package implements, from scratch:
 - an unslotted CSMA/CA MAC with pluggable CCA policies (:mod:`repro.mac`),
 - the paper's contribution — **DCN**, the dynamic CCA-threshold scheme for
   non-orthogonal transmission (:mod:`repro.core`),
-- network/node/topology/deployment layers (:mod:`repro.net`),
+- network/node/topology/deployment layers plus multi-hop cluster-tree +
+  mesh routing with convergecast workloads (:mod:`repro.net`),
 - a simplified 802.11b contrast substrate (:mod:`repro.dot11`),
 - an experiment harness reproducing every table and figure of the paper's
   evaluation (:mod:`repro.experiments`),
@@ -24,12 +25,12 @@ The package implements, from scratch:
 
 from . import check, core, dot11, experiments, mac, net, obs, phy, sim
 
-# 0.4.0: observability subsystem.  Results are unchanged (telemetry is
-# passive by design, verified byte-identical), but campaign cache entries
-# gain an optional metrics snapshot and the run-summary footer changed —
-# the version bump invalidates `.repro-cache/` so old entries are not
-# mixed with metric-bearing ones.
-__version__ = "0.4.0"
+# 0.5.0: multi-hop routing subsystem (repro.net.routing) plus the
+# `convergecast` exhibit.  Existing exhibit results are unchanged, but
+# the exhibit registry grew by one — the version bump invalidates
+# `.repro-cache/` so campaign inventories from the 28-exhibit era are
+# not mixed with the new set.
+__version__ = "0.5.0"
 
 from . import campaign, perf  # noqa: E402  (the cache keys on __version__)
 

@@ -1,0 +1,103 @@
+"""Convergecast — multi-hop routing metrics under the three channel designs.
+
+(beyond paper) The paper evaluates DCN on single-hop star networks with
+strong intra-network RSS.  This exhibit asks what its design trade-off
+looks like on the workload sensor networks actually run: *multi-hop
+convergecast* over a cluster tree, where the co-channel signal a node
+must defer to is a weak far-away next hop and the adjacent-channel
+leakage comes from an interleaved foreign network a metre away — the
+exact inversion of the paper's testbed RSS ordering.
+
+Setup (:func:`~repro.experiments.scenarios.convergecast_testbed`): two
+interleaved N×N grids (30 m pitch) on channels CFD apart, each running
+HELLO discovery, cluster-tree join and convergecast reports toward its
+own sink.  Designs: ``orthogonal`` (CFD = 5 MHz, fixed -77 dBm CCA),
+``zigbee`` (CFD = 3 MHz, fixed), ``dcn`` (CFD = 3 MHz, adaptive).  Two
+grid sizes give two tree depths.
+
+Reported per (grid, design): end-to-end delivery ratio, mean / p95
+creation-to-delivery delay, hop-count distribution of delivered
+reports, mean time to join the tree, and the joined fraction.
+
+Measured shape (see the table notes): the light routing duty cycle makes
+adjacent-channel *blocking* a second-order effect — ``zigbee`` and
+``orthogonal`` track each other — while DCN's threshold, pinned
+conservative by near-sensitivity co-channel snoops (the paper's Case III
+caveat), turns into a collision-avoidance win: highest delivery ratio at
+the deepest tree, paid for in per-hop deferral delay.  The paper's
+single-hop headline (DCN reclaims concurrency) does not transfer to
+multi-hop convergecast; its safety property (never block a usable
+co-channel link) is what survives.
+"""
+
+from __future__ import annotations
+
+from ..results import ResultTable
+from ..scenarios import CONVERGECAST_DESIGNS, convergecast_testbed
+
+__all__ = ["run", "GRIDS_FAST", "GRIDS_FULL", "run_point"]
+
+#: (rows, cols) per tree depth; fast keeps two depths (the acceptance
+#: floor), the full profile adds a third ring.
+GRIDS_FAST = ((3, 3), (4, 4))
+GRIDS_FULL = ((3, 3), (4, 4), (5, 5))
+
+#: Traffic/timing profile: reports start once the tree has had time to
+#: form (join times are ~1-3 s at the 0.5 s HELLO interval).
+WARMUP_S = 5.0
+REPORT_INTERVAL_S = 0.5
+
+
+def run(seed: int = 1, fast: bool = False) -> ResultTable:
+    grids = GRIDS_FAST if fast else GRIDS_FULL
+    duration_s = 15.0 if fast else 45.0
+    table = ResultTable(
+        "Convergecast: multi-hop delay / delivery across channel designs"
+    )
+    for rows, cols in grids:
+        for design in CONVERGECAST_DESIGNS:
+            summary = run_point(design, seed, rows, cols, duration_s)
+            table.add_row(
+                grid=f"{rows}x{cols}",
+                design=design,
+                delivery_pct=100.0 * summary["delivery_ratio"],
+                delay_ms=1e3 * summary["delay_mean_s"],
+                delay_p95_ms=1e3 * summary["delay_p95_s"],
+                hops_mean=summary["hops_mean"],
+                hops_max=int(summary["hops_max"]),
+                join_s=summary["join_time_mean_s"],
+                joined_pct=100.0 * summary["joined_fraction"],
+            )
+    table.add_note(
+        "two interleaved grids per run; delay is creation->sink delivery "
+        f"over {duration_s:g} s of reports after a {WARMUP_S:g} s join "
+        "warm-up"
+    )
+    table.add_note(
+        "multi-hop inverts the paper's RSS ordering: weak co-channel "
+        "signals pin DCN's min-tracking threshold conservative (Case "
+        "III), which here buys delivery (fewer forwarding collisions) "
+        "at a delay cost; the 3 vs 5 MHz plans barely differ on the "
+        "fixed threshold"
+    )
+    return table
+
+
+def run_point(design: str, seed: int, rows: int, cols: int,
+              duration_s: float) -> dict:
+    """One (design, grid) cell: build, join, run traffic, summarize."""
+    deployment, fabric = convergecast_testbed(
+        design, seed=seed, rows=rows, cols=cols
+    )
+    fabric.start()
+    fabric.attach_convergecast(
+        interval_s=REPORT_INTERVAL_S, start_delay_s=WARMUP_S
+    )
+    fabric.start_sources()
+    deployment.sim.run(WARMUP_S + duration_s)
+    fabric.stop()
+    # Bounded drain so in-flight frames and MAC retries land and count.
+    # Not run_until_idle(): DCN's Case-II timer re-arms forever, so a
+    # DCN deployment never goes idle.
+    deployment.sim.run(deployment.sim.now + 2.0)
+    return fabric.summary()

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..experiments.results import ResultTable
 from .figures import (
     ablations,
+    convergecast,
     fig01,
     fig02,
     fig04,
@@ -95,6 +96,7 @@ _register("ablation_oracle", "Sec. VII-C", "DCN vs oracle CCA upper bound", abla
 _register("ablation_mode2", "Sec. VII-C", "DCN vs CCA mode-2 carrier sense", ablations.run_mode2)
 _register("ablation_energy", "(beyond paper)", "Energy cost of DCN (CC2420 model)", ablations.run_energy)
 _register("ablation_orthogonal", "(beyond paper)", "Orthogonal vs ZigBee vs DCN channel plans", ablations.run_orthogonal)
+_register("convergecast", "(beyond paper)", "Multi-hop convergecast delay/delivery across channel designs", convergecast.run)
 
 
 def get(experiment_id: str) -> Experiment:

@@ -96,6 +96,12 @@ PAPER_CLAIMS: Dict[str, str] = {
     "ablation_orthogonal": "(beyond paper) the related-work ladder: a "
                            "strictly orthogonal design (9 MHz) fits 2 "
                            "channels in 15 MHz, ZigBee 4, DCN 6.",
+    "convergecast": "(beyond paper) the paper's CCA designs replayed on a "
+                    "multi-hop cluster-tree convergecast workload: weak "
+                    "co-channel RSS pins DCN conservative (Case III), which "
+                    "trades end-to-end delay for delivery ratio; channel "
+                    "spacing alone (3 vs 5 MHz) barely moves the fixed "
+                    "designs at routing duty cycles.",
 }
 
 

@@ -27,11 +27,13 @@ from ..core.adjustor import AdjustorConfig
 from ..mac.cca import CcaPolicy, DisabledCca, FixedCcaThreshold
 from ..mac.params import MacParams
 from ..net.deployment import Deployment, PolicyFactory
+from ..net.routing import RoutingConfig, RoutingFabric
 from ..net.topology import (
     LinkSpec,
     NetworkSpec,
     NodeSpec,
     fixed_power,
+    grid_topology,
     one_region_topology,
     random_power,
     random_topology,
@@ -57,6 +59,8 @@ __all__ = [
     "case_one",
     "case_two",
     "case_three",
+    "CONVERGECAST_DESIGNS",
+    "convergecast_testbed",
 ]
 
 # Geometry of the standard testbed (calibrated against Figs. 14/15/17/18):
@@ -358,6 +362,79 @@ def section_iv_rig(
         return FixedCcaThreshold(-77.0)
 
     return Deployment(specs, seed=seed, policy_factory=_policy, **deployment_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Convergecast testbed (multi-hop routing over repro.net.routing)
+# ---------------------------------------------------------------------------
+#: design name -> (channel distance MHz, use DCN CCA).  "orthogonal" is the
+#: conservative 5 MHz plan; "zigbee" packs channels at 3 MHz but keeps the
+#: fixed -77 dBm threshold (adjacent-channel leakage from the co-deployed
+#: network lands above it -> false blocking); "dcn" runs the same 3 MHz plan
+#: with the adaptive threshold.
+CONVERGECAST_DESIGNS = {
+    "orthogonal": (5.0, False),
+    "zigbee": (3.0, False),
+    "dcn": (3.0, True),
+}
+
+
+def convergecast_testbed(
+    design: str,
+    seed: int,
+    rows: int = 3,
+    cols: int = 3,
+    pitch_m: float = 30.0,
+    interleave_m: float = 1.0,
+    base_mhz: float = 2460.0,
+    routing_config: Optional["RoutingConfig"] = None,
+    **deployment_kwargs,
+):
+    """Two interleaved multi-hop grids on adjacent channels.
+
+    Grid A sits at the origin, grid B is offset by ``interleave_m`` on
+    both axes, so every node has a *foreign-network* node a metre or two
+    away while its own next hop is a full ``pitch_m`` (default 30 m)
+    out.  That reverses the single-hop testbeds' RSS ordering — here the
+    adjacent-channel leakage (strong, from the interleaved neighbour) is
+    *louder* than the co-channel signal (weak, from a distant next hop),
+    which is exactly the regime where the fixed CCA threshold false-
+    blocks on a 3 MHz plan and the orthogonal 5 MHz plan or DCN's
+    adaptive threshold wins back the channel.
+
+    Returns ``(deployment, fabric)`` — the fabric is constructed but not
+    started, so exhibits control warm-up and traffic timing.  ACKs are
+    enabled: multi-hop forwarding without per-hop retransmission loses
+    too many frames to measure anything but the MAC.
+    """
+    try:
+        cfd_mhz, use_dcn = CONVERGECAST_DESIGNS[design]
+    except KeyError:
+        raise ValueError(
+            f"unknown design {design!r}; "
+            f"known: {sorted(CONVERGECAST_DESIGNS)}"
+        ) from None
+    specs = [
+        grid_topology(
+            rows, cols, pitch_m, base_mhz, label="A",
+        ),
+        grid_topology(
+            rows, cols, pitch_m, base_mhz + cfd_mhz, label="B",
+            origin=(interleave_m, interleave_m),
+        ),
+    ]
+    deployment_kwargs.setdefault("mac_params", MacParams(ack_enabled=True))
+    deployment = Deployment(
+        specs,
+        seed=seed,
+        policy_factory=(
+            dcn_policy_factory() if use_dcn else fixed_policy_factory()
+        ),
+        saturate_senders=False,
+        **deployment_kwargs,
+    )
+    fabric = RoutingFabric(deployment, config=routing_config)
+    return deployment, fabric
 
 
 # ---------------------------------------------------------------------------

@@ -1,4 +1,5 @@
-"""Network layer: nodes, traffic, topologies, assignment and deployments."""
+"""Network layer: nodes, traffic, topologies, assignment, deployments
+and multi-hop routing (:mod:`repro.net.routing`)."""
 
 from .assignment import (
     assignment_cost,
@@ -9,6 +10,7 @@ from .assignment import (
 )
 from .deployment import Deployment, Network, PolicyFactory, zigbee_policy_factory
 from .node import Node
+from .routing import ConvergecastSource, Router, RoutingConfig, RoutingFabric
 from .topology import (
     LinkSpec,
     NetworkSpec,
@@ -16,10 +18,12 @@ from .topology import (
     PowerAssignment,
     clustered_region_topology,
     fixed_power,
+    grid_topology,
     one_region_topology,
     random_power,
     random_topology,
     separated_clusters_topology,
+    sink_name,
 )
 from .traffic import (
     DEFAULT_PAYLOAD_BYTES,
@@ -40,16 +44,22 @@ __all__ = [
     "PolicyFactory",
     "zigbee_policy_factory",
     "Node",
+    "ConvergecastSource",
+    "Router",
+    "RoutingConfig",
+    "RoutingFabric",
     "LinkSpec",
     "NetworkSpec",
     "NodeSpec",
     "PowerAssignment",
     "clustered_region_topology",
     "fixed_power",
+    "grid_topology",
     "one_region_topology",
     "random_power",
     "random_topology",
     "separated_clusters_topology",
+    "sink_name",
     "DEFAULT_PAYLOAD_BYTES",
     "AttackerSource",
     "PoissonSource",

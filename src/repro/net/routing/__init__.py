@@ -1,0 +1,56 @@
+"""repro.net.routing — multi-hop cluster-tree + mesh routing.
+
+The layer above the MAC: neighbour discovery by periodic HELLO beacons
+(with table sharing for two-hop reach), sink-rooted cluster-tree
+formation, mesh-first forwarding with tree fallback, and convergecast
+workloads whose per-packet headers carry creation timestamps, sequence
+numbers and route traces — the raw material for end-to-end delay,
+delivery-ratio, hop-count and join-time metrics.
+
+Entry point for experiments: :class:`RoutingFabric`, which attaches a
+:class:`Router` to every node of a :class:`~repro.net.deployment.
+Deployment` and aggregates the statistics.
+"""
+
+from .config import RoutingConfig
+from .convergecast import ConvergecastSource
+from .fabric import RoutingFabric
+from .forwarding import Router, RouterStats
+from .messages import (
+    DATA_HEADER_BYTES,
+    JOIN_PAYLOAD_BYTES,
+    UNREACHABLE,
+    DataHeader,
+    Hello,
+    JoinAccept,
+    JoinRequest,
+    hello_payload_bytes,
+)
+from .tables import (
+    MembersTable,
+    MemberNetworksTable,
+    NeighborEntry,
+    NeighborTable,
+)
+from .tree import TreeMembership
+
+__all__ = [
+    "RoutingConfig",
+    "ConvergecastSource",
+    "RoutingFabric",
+    "Router",
+    "RouterStats",
+    "TreeMembership",
+    "Hello",
+    "JoinRequest",
+    "JoinAccept",
+    "DataHeader",
+    "UNREACHABLE",
+    "hello_payload_bytes",
+    "JOIN_PAYLOAD_BYTES",
+    "DATA_HEADER_BYTES",
+    "NeighborEntry",
+    "NeighborTable",
+    "MembersTable",
+    "MemberNetworksTable",
+]

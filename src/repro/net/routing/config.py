@@ -1,0 +1,75 @@
+"""Routing-layer configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoutingConfig"]
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Tunables of discovery, tree formation and forwarding.
+
+    Attributes
+    ----------
+    hello_interval_s / hello_jitter:
+        Base period of the HELLO beacon and the multiplicative jitter
+        band: each sleep is drawn uniformly from
+        ``interval * [1 - jitter, 1 + jitter]`` (desynchronises beacons
+        without a global schedule).
+    neighbor_max_age_s:
+        A neighbour not heard for this long is dropped from the table
+        (and any two-hop entries learned through it die with it).
+    shared_neighbors:
+        How many direct-neighbour entries each HELLO advertises (the
+        table-sharing slice that populates two-hop neighbourhoods).
+    join_retry_s:
+        An unanswered join request is retried after this long.
+    ttl:
+        Initial hop budget of every data report; a report whose TTL
+        expires is dropped (loop guard of last resort — the seen-set
+        catches ordinary duplicates first).
+    forward_queue_limit:
+        Bound of the per-node forwarding queue that buffers reports
+        while the MAC queue is full; overflow is dropped and counted.
+    seen_limit:
+        Bound of the duplicate-suppression set, in remembered
+        ``(origin, seq)`` pairs (oldest forgotten first).
+    mesh_rssi_floor_dbm:
+        Link-quality gate for mesh-first routes: a direct neighbour
+        heard below this RSSI is not used as a mesh shortcut (a fading
+        spike can make a far node *audible* without making the link
+        usable), and two-hop entries inherit the gate through their
+        ``via``.  Tree routes (parent/children) are exempt — they were
+        chosen by link quality at join time.
+    report_payload_bytes:
+        Application payload of one convergecast sensor report, on top
+        of the network header.
+    """
+
+    hello_interval_s: float = 0.5
+    hello_jitter: float = 0.2
+    neighbor_max_age_s: float = 2.5
+    shared_neighbors: int = 4
+    join_retry_s: float = 0.6
+    ttl: int = 16
+    forward_queue_limit: int = 16
+    seen_limit: int = 4096
+    mesh_rssi_floor_dbm: float = -88.0
+    report_payload_bytes: int = 24
+
+    def __post_init__(self) -> None:
+        if self.hello_interval_s <= 0:
+            raise ValueError("hello_interval_s must be > 0")
+        if not 0.0 <= self.hello_jitter < 1.0:
+            raise ValueError("hello_jitter must be in [0, 1)")
+        if self.neighbor_max_age_s <= self.hello_interval_s:
+            raise ValueError(
+                "neighbor_max_age_s must exceed hello_interval_s, or every "
+                "table entry expires between beacons"
+            )
+        if self.ttl < 1:
+            raise ValueError("ttl must be >= 1")
+        if self.forward_queue_limit < 1:
+            raise ValueError("forward_queue_limit must be >= 1")

@@ -1,0 +1,94 @@
+"""Neighbour discovery: the periodic HELLO beacon process.
+
+Each router runs one :class:`HelloBeacon` — a generator process that
+broadcasts a HELLO every ``hello_interval_s`` (jittered from the
+dedicated ``routing.hello.{node}`` RNG stream, so beacons desynchronise
+deterministically) and ages the neighbour table on the same cadence.
+
+The beacon advertises the router's tree state (hop count, parent) plus a
+bounded slice of its direct neighbour table; receivers fold both into
+their own tables (:meth:`~repro.net.routing.tables.NeighborTable.
+observe_hello`), which is how two-hop neighbourhoods form without any
+routing-specific traffic beyond the HELLOs themselves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ...phy.frame import Frame
+from ...sim.process import Process
+from .messages import Hello, hello_payload_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .forwarding import Router
+
+__all__ = ["HelloBeacon"]
+
+
+class HelloBeacon:
+    """Periodic HELLO broadcaster + neighbour-table ager for one router."""
+
+    def __init__(self, router: "Router", rng: np.random.Generator) -> None:
+        self.router = router
+        self.rng = rng
+        self.sent = 0
+        self._process: Optional[Process] = None
+
+    def start(self) -> None:
+        if self._process is not None:
+            return
+        config = self.router.config
+        interval = config.hello_interval_s
+        jitter = config.hello_jitter
+
+        def _body():
+            # Desynchronise first beacons across the network: a full
+            # random phase, not just interval jitter.
+            yield float(self.rng.uniform(0.0, interval))
+            while True:
+                self._beacon()
+                yield float(
+                    interval * self.rng.uniform(1.0 - jitter, 1.0 + jitter)
+                )
+
+        self._process = Process(
+            self.router.node.sim, _body(),
+            name=f"hello.{self.router.name}",
+        ).start()
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # ------------------------------------------------------------------
+    def _beacon(self) -> None:
+        router = self.router
+        now = router.node.sim.now
+        expired = router.neighbors.age(now)
+        if expired:
+            router.on_neighbors_lost(expired)
+        shared = tuple(
+            (entry.name, entry.hop_count_to_sink)
+            for entry in router.neighbors.shared_slice(
+                router.config.shared_neighbors
+            )
+        )
+        hello = Hello(
+            sender=router.name,
+            hop_count=router.hop_count,
+            parent=router.parent,
+            shared=shared,
+        )
+        frame = Frame(
+            source=router.name,
+            destination=None,  # broadcast
+            payload_bytes=hello_payload_bytes(len(shared)),
+            created_s=now,
+            info=hello,
+        )
+        self.sent += 1
+        router.submit_control(frame)

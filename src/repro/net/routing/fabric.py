@@ -1,0 +1,207 @@
+"""RoutingFabric: attach a routing layer to a whole deployment.
+
+The fabric is the deployment-level counterpart of :class:`~repro.net.
+routing.forwarding.Router`: it builds one router per node (per network),
+resolves each network's sink, hands every router its dedicated RNG
+streams, optionally attaches convergecast sources, and aggregates the
+per-router statistics into one deterministic summary dict — the numbers
+the convergecast exhibit reports.
+
+Sink resolution per network: an explicit ``sinks`` mapping wins; else a
+node named :func:`~repro.net.topology.sink_name` of the network label
+(what :func:`~repro.net.topology.grid_topology` creates); else the first
+node of the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..deployment import Deployment
+from ..topology import sink_name
+from .config import RoutingConfig
+from .convergecast import ConvergecastSource
+from .forwarding import Router
+from .messages import DataHeader
+
+__all__ = ["RoutingFabric"]
+
+
+class RoutingFabric:
+    """All routers of one deployment, plus aggregate accounting."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        sinks: Optional[Mapping[str, str]] = None,
+        config: Optional[RoutingConfig] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.config = config if config is not None else RoutingConfig()
+        self.sinks: Dict[str, str] = {}
+        self.routers: Dict[str, Router] = {}
+        self.sources: List[ConvergecastSource] = []
+        self.created_total = 0
+        self._started = False
+        for network in deployment.networks:
+            label = network.label
+            sink = self._resolve_sink(network, sinks)
+            self.sinks[label] = sink
+            for node in network.nodes:
+                router = Router(
+                    node, sink=sink, config=self.config, fabric=self
+                )
+                self.routers[node.name] = router
+
+    @staticmethod
+    def _resolve_sink(network, sinks: Optional[Mapping[str, str]]) -> str:
+        names = [node.name for node in network.nodes]
+        if sinks is not None and network.label in sinks:
+            sink = sinks[network.label]
+            if sink not in names:
+                raise ValueError(
+                    f"sink {sink!r} is not a node of network "
+                    f"{network.label!r}"
+                )
+            return sink
+        default = sink_name(network.label)
+        if default in names:
+            return default
+        return names[0]
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start neighbour discovery on every router (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        rng = self.deployment.rng
+        for name in sorted(self.routers):
+            self.routers[name].start(rng.stream(f"routing.hello.{name}"))
+
+    def attach_convergecast(
+        self,
+        interval_s: float = 1.0,
+        jitter: float = 0.2,
+        start_delay_s: float = 0.0,
+        payload_bytes: Optional[int] = None,
+    ) -> List[ConvergecastSource]:
+        """One report source per non-sink router (not yet started)."""
+        rng = self.deployment.rng
+        sink_names = set(self.sinks.values())
+        attached = []
+        for name in sorted(self.routers):
+            if name in sink_names:
+                continue
+            source = ConvergecastSource(
+                router=self.routers[name],
+                rng=rng.stream(f"routing.report.{name}"),
+                interval_s=interval_s,
+                jitter=jitter,
+                start_delay_s=start_delay_s,
+                payload_bytes=payload_bytes,
+            )
+            attached.append(source)
+        self.sources.extend(attached)
+        return attached
+
+    def start_sources(self) -> None:
+        for source in self.sources:
+            source.start()
+
+    def stop(self) -> None:
+        for source in self.sources:
+            source.stop()
+        for name in sorted(self.routers):
+            self.routers[name].stop()
+
+    # ------------------------------------------------------------------
+    # Router callbacks
+    # ------------------------------------------------------------------
+    def on_created(self, router: Router) -> None:
+        self.created_total += 1
+
+    def on_delivered(self, router: Router, header: DataHeader,
+                     delay: float) -> None:
+        pass  # sink routers keep the per-delivery records
+
+    def on_joined(self, router: Router, first: bool) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def sink_routers(self) -> List[Router]:
+        return [
+            self.routers[self.sinks[label]] for label in sorted(self.sinks)
+        ]
+
+    def joined_routers(self) -> List[Router]:
+        return [
+            self.routers[name] for name in sorted(self.routers)
+            if self.routers[name].joined
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        """Deterministic network-wide routing metrics.
+
+        Delivery is measured end-to-end: reports *originated* anywhere
+        vs reports *delivered at a sink* (duplicates already suppressed
+        per-router).  Join metrics cover non-sink nodes only — the sink
+        is joined by construction at t = 0.
+        """
+        delays: List[float] = []
+        hops: List[int] = []
+        for sink in self.sink_routers():
+            delays.extend(sink.stats.delays_s)
+            hops.extend(sink.stats.hop_counts)
+        sink_names = set(self.sinks.values())
+        join_times = [
+            router.tree.join_time_s
+            for name, router in sorted(self.routers.items())
+            if name not in sink_names and router.tree.join_time_s is not None
+        ]
+        n_motes = len(self.routers) - len(sink_names)
+        totals = {
+            "forwarded": 0, "duplicates": 0, "dropped_ttl": 0,
+            "dropped_no_route": 0, "dropped_queue_full": 0,
+            "join_requests": 0,
+        }
+        for name in sorted(self.routers):
+            stats = self.routers[name].stats
+            totals["forwarded"] += stats.forwarded
+            totals["duplicates"] += stats.duplicates
+            totals["dropped_ttl"] += stats.dropped_ttl
+            totals["dropped_no_route"] += stats.dropped_no_route
+            totals["dropped_queue_full"] += stats.dropped_queue_full
+            totals["join_requests"] += (
+                self.routers[name].tree.join_requests_sent
+            )
+        delivered = len(delays)
+        created = self.created_total
+        summary = {
+            "nodes": float(len(self.routers)),
+            "created": float(created),
+            "delivered": float(delivered),
+            "delivery_ratio": (delivered / created) if created else 0.0,
+            "delay_mean_s": float(np.mean(delays)) if delays else 0.0,
+            "delay_p95_s": (
+                float(np.percentile(delays, 95.0)) if delays else 0.0
+            ),
+            "delay_max_s": float(max(delays)) if delays else 0.0,
+            "hops_mean": float(np.mean(hops)) if hops else 0.0,
+            "hops_max": float(max(hops)) if hops else 0.0,
+            "joined_fraction": (
+                len(join_times) / n_motes if n_motes else 1.0
+            ),
+            "join_time_mean_s": (
+                float(np.mean(join_times)) if join_times else 0.0
+            ),
+            "join_time_max_s": (
+                float(max(join_times)) if join_times else 0.0
+            ),
+        }
+        summary.update({k: float(v) for k, v in sorted(totals.items())})
+        return summary

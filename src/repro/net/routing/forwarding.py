@@ -1,0 +1,352 @@
+"""The per-node router: dispatch, forwarding, loop guards, queueing.
+
+One :class:`Router` sits on top of one :class:`~repro.net.node.Node`'s
+MAC.  It subscribes to delivered frames, dispatches routing messages by
+``Frame.info`` type, and forwards data reports toward their final
+destination with the mesh-first/tree-fallback rule:
+
+1. **deliver** — the report is addressed to this node;
+2. **mesh** — the neighbour table knows the destination (directly or
+   via a shared two-hop entry): unicast to that next hop;
+3. **tree, downward** — the member-networks table places the
+   destination behind one of our children: unicast to that child;
+4. **tree, upward** — we are joined: unicast to our parent;
+5. otherwise **drop** (``no_route``).
+
+Loop and duplicate protection: every report carries a TTL (decremented
+per hop, dropped at 0) and each router remembers recently seen
+``(origin, seq)`` pairs, so MAC-retry duplicates and routing loops die
+at first re-appearance.
+
+The MAC transmit queue is short (8 frames); the router adds a bounded
+forwarding queue on top — frames that do not fit the MAC are buffered up
+to ``forward_queue_limit`` and drained on MAC-idle callbacks; overflow
+is dropped and counted (``queue_full``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING
+
+from ...phy.errors import FrameReception
+from ...phy.frame import Frame
+from .config import RoutingConfig
+from .discovery import HelloBeacon
+from .messages import (
+    DATA_HEADER_BYTES,
+    DataHeader,
+    Hello,
+    JoinAccept,
+    JoinRequest,
+)
+from .tables import MembersTable, MemberNetworksTable, NeighborTable
+from .tree import TreeMembership
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import Node
+    from .fabric import RoutingFabric
+
+__all__ = ["RouterStats", "Router"]
+
+
+class RouterStats:
+    """Per-router counters (deterministic plain ints/floats)."""
+
+    __slots__ = (
+        "originated", "delivered", "forwarded", "duplicates",
+        "dropped_ttl", "dropped_no_route", "dropped_queue_full",
+        "delays_s", "hop_counts",
+    )
+
+    def __init__(self) -> None:
+        self.originated = 0
+        self.delivered = 0
+        self.forwarded = 0
+        self.duplicates = 0
+        self.dropped_ttl = 0
+        self.dropped_no_route = 0
+        self.dropped_queue_full = 0
+        #: Per delivered report, at the destination: end-to-end delay
+        #: and hop count, in arrival order (deterministic).
+        self.delays_s: List[float] = []
+        self.hop_counts: List[int] = []
+
+
+class Router:
+    """Routing agent bound to one node."""
+
+    def __init__(
+        self,
+        node: "Node",
+        sink: str,
+        config: Optional[RoutingConfig] = None,
+        fabric: Optional["RoutingFabric"] = None,
+    ) -> None:
+        self.node = node
+        self.name = node.name
+        self.sink = sink
+        self.config = config if config is not None else RoutingConfig()
+        self.fabric = fabric
+        self.neighbors = NeighborTable(
+            owner=self.name, max_age_s=self.config.neighbor_max_age_s
+        )
+        self.members = MembersTable()
+        self.member_networks = MemberNetworksTable()
+        self.tree = TreeMembership(self, is_sink=(self.name == sink))
+        self.stats = RouterStats()
+        self._seq = 0
+        self._seen: "OrderedDict[tuple, None]" = OrderedDict()
+        self._pending: Deque[Frame] = deque()
+        #: Per-origin route trace of the last report delivered *here*:
+        #: the full transmit path, origin first (packet tracing).
+        self.last_paths: Dict[str, tuple] = {}
+        self._beacon: Optional[HelloBeacon] = None
+        node.mac.add_receive_listener(self._on_frame)
+        node.mac.add_idle_listener(self._drain_pending)
+
+    # ------------------------------------------------------------------
+    # Tree state passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def joined(self) -> bool:
+        return self.tree.joined
+
+    @property
+    def hop_count(self) -> int:
+        return self.tree.hop_count
+
+    @property
+    def parent(self) -> Optional[str]:
+        return self.tree.parent
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, rng) -> None:
+        """Start neighbour discovery (``rng`` = this router's hello
+        stream, e.g. ``RngStreams.stream(f"routing.hello.{name}")``)."""
+        if self._beacon is None:
+            self._beacon = HelloBeacon(self, rng)
+        self._beacon.start()
+
+    def stop(self) -> None:
+        if self._beacon is not None:
+            self._beacon.stop()
+
+    # ------------------------------------------------------------------
+    # Originating traffic
+    # ------------------------------------------------------------------
+    def send_report(
+        self,
+        destination: Optional[str] = None,
+        payload_bytes: Optional[int] = None,
+    ) -> DataHeader:
+        """Originate one application report (default: toward the sink).
+
+        The report is routed immediately; if the router has no route yet
+        (e.g. not joined), it is dropped and counted — an unjoined node's
+        reports are genuinely lost, which is what the delivery-ratio
+        metric must see.
+        """
+        sim = self.node.sim
+        self._seq += 1
+        self.stats.originated += 1
+        header = DataHeader(
+            origin=self.name,
+            destination=destination if destination is not None else self.sink,
+            seq=self._seq,
+            ttl=self.config.ttl,
+            created_s=sim.now,
+        )
+        if sim.obs is not None:
+            sim.obs.on_route_created(self.name)
+        if self.fabric is not None:
+            self.fabric.on_created(self)
+        payload = (
+            payload_bytes if payload_bytes is not None
+            else self.config.report_payload_bytes
+        )
+        self._route(header, payload)
+        return header
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_frame(self, reception: FrameReception) -> None:
+        info = reception.frame.info
+        if isinstance(info, Hello):
+            self._on_hello(info, reception)
+        elif isinstance(info, DataHeader):
+            self._on_data(info, reception)
+        elif isinstance(info, JoinRequest):
+            self.tree.on_join_request(info)
+        elif isinstance(info, JoinAccept):
+            self.tree.on_join_accept(info)
+
+    def _on_hello(self, hello: Hello, reception: FrameReception) -> None:
+        now = self.node.sim.now
+        self.neighbors.observe_hello(hello, reception.rssi_dbm, now)
+        self.tree.maybe_join()
+
+    def _on_data(self, header: DataHeader, reception: FrameReception) -> None:
+        key = (header.origin, header.seq)
+        if key in self._seen:
+            self.stats.duplicates += 1
+            return
+        self._remember(key)
+        previous_hop = reception.frame.source
+        # Upward traffic teaches downward routes: the origin (and every
+        # intermediate node on the recorded path) lies behind the hop
+        # this report arrived from.
+        if previous_hop != header.origin:
+            self.member_networks.learn(header.origin, previous_hop)
+        for hop in header.path:
+            if hop not in (self.name, previous_hop):
+                self.member_networks.learn(hop, previous_hop)
+        if header.destination == self.name:
+            self._deliver(header)
+            return
+        if header.ttl <= 0:
+            self.stats.dropped_ttl += 1
+            self._drop_obs("ttl")
+            return
+        self._route(header, reception.frame.payload_bytes - DATA_HEADER_BYTES,
+                    forwarding=True)
+
+    def _deliver(self, header: DataHeader) -> None:
+        sim = self.node.sim
+        delay = sim.now - header.created_s
+        hops = header.hops
+        self.stats.delivered += 1
+        self.stats.delays_s.append(delay)
+        self.stats.hop_counts.append(hops)
+        self.last_paths[header.origin] = header.path + (self.name,)
+        if sim.obs is not None:
+            sim.obs.on_route_delivered(
+                origin=header.origin,
+                sink=self.name,
+                created_s=header.created_s,
+                now=sim.now,
+                hops=hops,
+            )
+        if self.fabric is not None:
+            self.fabric.on_delivered(self, header, delay)
+
+    # ------------------------------------------------------------------
+    # Forwarding decision
+    # ------------------------------------------------------------------
+    def next_hop(self, destination: str) -> Optional[str]:
+        """Mesh-first / tree-fallback next hop (``None`` = no route)."""
+        hop = self.neighbors.route_to(
+            destination, min_rssi_dbm=self.config.mesh_rssi_floor_dbm
+        )
+        if hop is not None:
+            return hop
+        hop = self.member_networks.route_to(destination)
+        if hop is not None and hop in self.neighbors:
+            return hop
+        if destination in self.members:
+            return destination
+        if self.tree.joined and self.tree.parent is not None:
+            return self.tree.parent
+        return None
+
+    def _route(self, header: DataHeader, payload_bytes: int,
+               forwarding: bool = False) -> None:
+        hop = self.next_hop(header.destination)
+        if hop is None:
+            self.stats.dropped_no_route += 1
+            self._drop_obs("no_route")
+            return
+        out = header.forwarded_by(self.name)
+        frame = Frame(
+            source=self.name,
+            destination=hop,
+            payload_bytes=max(payload_bytes, 0) + DATA_HEADER_BYTES,
+            source_seq=header.seq,
+            created_s=header.created_s,
+            info=out,
+        )
+        if forwarding:
+            self.stats.forwarded += 1
+            sim = self.node.sim
+            if sim.obs is not None:
+                sim.obs.on_route_forwarded(self.name)
+        self._submit(frame)
+
+    # ------------------------------------------------------------------
+    # Queueing toward the MAC
+    # ------------------------------------------------------------------
+    def submit_control(self, frame: Frame) -> None:
+        """Hand a control frame (HELLO/join) to the MAC.
+
+        Control frames bypass the forwarding queue — discovery must keep
+        breathing under data load — but a full MAC queue still costs
+        them: a lost beacon is simply lost, like on real hardware.
+        """
+        self.node.mac.send(frame)
+
+    def _submit(self, frame: Frame) -> None:
+        if self._pending:
+            self._enqueue(frame)
+            return
+        if not self.node.mac.send(frame):
+            self._enqueue(frame)
+
+    def _enqueue(self, frame: Frame) -> None:
+        if len(self._pending) >= self.config.forward_queue_limit:
+            self.stats.dropped_queue_full += 1
+            self._drop_obs("queue_full")
+            return
+        self._pending.append(frame)
+
+    def _drain_pending(self) -> None:
+        while self._pending:
+            frame = self._pending[0]
+            if not self.node.mac.send(frame):
+                return
+            self._pending.popleft()
+
+    @property
+    def pending_frames(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Callbacks from tree / discovery
+    # ------------------------------------------------------------------
+    def on_joined(self, parent: str, hop_count: int, first: bool) -> None:
+        sim = self.node.sim
+        if first and sim.obs is not None:
+            obs_join_time = self.tree.join_time_s
+            assert obs_join_time is not None
+            sim.obs.on_route_joined(
+                self.name, obs_join_time, parent, hop_count
+            )
+        if self.fabric is not None:
+            self.fabric.on_joined(self, first=first)
+
+    def on_neighbors_lost(self, names: List[str]) -> None:
+        for name in names:
+            if name in self.members:
+                self.members.remove(name)
+            self.member_networks.forget_child(name)
+        if self.tree.parent is not None and self.tree.parent in names:
+            self.tree.on_parent_lost()
+
+    # ------------------------------------------------------------------
+    def _remember(self, key: tuple) -> None:
+        seen = self._seen
+        seen[key] = None
+        if len(seen) > self.config.seen_limit:
+            seen.popitem(last=False)
+
+    def _drop_obs(self, reason: str) -> None:
+        sim = self.node.sim
+        if sim.obs is not None:
+            sim.obs.on_route_dropped(self.name, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"hop={self.hop_count}" if self.joined else "unjoined"
+        return (f"<Router {self.name} sink={self.sink} {state} "
+                f"neighbors={len(self.neighbors)}>")

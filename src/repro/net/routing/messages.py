@@ -1,0 +1,121 @@
+"""Routing-layer message vocabulary.
+
+Four message kinds, mirroring the wsnlab cluster-tree protocol the
+ROADMAP points at:
+
+- :class:`Hello` — the periodic neighbour-discovery beacon (broadcast).
+  Carries the sender's tree state (hop count to the sink, parent) plus a
+  slice of its *direct* neighbour table, so receivers learn two-hop
+  neighbours by table sharing.
+- :class:`JoinRequest` / :class:`JoinAccept` — the cluster-tree join
+  handshake (unicast child -> candidate parent -> child).
+- :class:`DataHeader` — the network header of an application report:
+  origin, final destination, end-to-end sequence number, TTL, hop and
+  path trace, creation timestamp.
+
+Messages are plain frozen dataclasses attached to ``Frame.info``; they
+are never serialised to air.  Their *on-air* cost is modelled by the
+``*_payload_bytes`` helpers, which size each frame's payload from the
+message content so airtime scales with what a real encoding would cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "UNREACHABLE",
+    "Hello",
+    "JoinRequest",
+    "JoinAccept",
+    "DataHeader",
+    "hello_payload_bytes",
+    "JOIN_PAYLOAD_BYTES",
+    "DATA_HEADER_BYTES",
+]
+
+#: Hop count of a node that has not joined the tree (sentinel "infinity"
+#: that still compares/propagates safely as an int).
+UNREACHABLE = 1 << 16
+
+#: On-air bytes of the fixed HELLO part: sender address (2), hop count
+#: (2), parent address (2), flags (1), shared-entry count (1).
+_HELLO_BASE_BYTES = 8
+#: On-air bytes per shared neighbour entry: address (2) + hop distance (1).
+_HELLO_SHARED_ENTRY_BYTES = 3
+#: On-air payload of either join-handshake message: child (2), parent
+#: (2), hop count (2), status (1), pan/network id (2), reserved (1).
+JOIN_PAYLOAD_BYTES = 10
+#: On-air network-header bytes prefixed to every routed data report:
+#: origin (2), destination (2), sequence (2), TTL (1), hops (1),
+#: creation timestamp (4).
+DATA_HEADER_BYTES = 12
+
+
+def hello_payload_bytes(n_shared: int) -> int:
+    """On-air payload of a HELLO sharing ``n_shared`` neighbour entries."""
+    return _HELLO_BASE_BYTES + _HELLO_SHARED_ENTRY_BYTES * n_shared
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Neighbour-discovery beacon (broadcast).
+
+    ``shared`` lists a slice of the sender's direct neighbour table as
+    ``(name, hop_count_to_sink)`` pairs — receivers register these as
+    two-hop neighbours reachable *via* the sender (multi-hop neighbour
+    table population by table sharing).
+    """
+
+    sender: str
+    hop_count: int
+    parent: Optional[str]
+    shared: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Child asks a joined neighbour to adopt it (unicast)."""
+
+    child: str
+    parent: str
+
+
+@dataclass(frozen=True)
+class JoinAccept:
+    """Parent confirms adoption and tells the child its hop count."""
+
+    parent: str
+    child: str
+    hop_count: int
+
+
+@dataclass(frozen=True)
+class DataHeader:
+    """Network header of one end-to-end application report.
+
+    ``hops``/``path`` are the forwarding trace accumulated so far; the
+    path records every node that transmitted the report (origin first),
+    which is the per-packet route tracing the metrics layer exports.
+    """
+
+    origin: str
+    destination: str
+    seq: int
+    ttl: int
+    created_s: float
+    hops: int = 0
+    path: Tuple[str, ...] = ()
+
+    def forwarded_by(self, node: str) -> "DataHeader":
+        """The header as re-framed by ``node`` for its next hop."""
+        return DataHeader(
+            origin=self.origin,
+            destination=self.destination,
+            seq=self.seq,
+            ttl=self.ttl - 1,
+            created_s=self.created_s,
+            hops=self.hops + 1,
+            path=self.path + (node,),
+        )

@@ -1,0 +1,243 @@
+"""Routing state tables: neighbours, members, member networks.
+
+Three tables per node, following the cluster-tree design the ROADMAP's
+wsnlab reference sketches:
+
+- :class:`NeighborTable` — who this node can hear (directly, from HELLO
+  receptions) or reach in two hops (from HELLO table sharing), with
+  RSSI, last-heard time and the neighbour's own tree state.  Entries age
+  out after ``max_age_s`` without a refresh, so crashed or out-of-range
+  nodes disappear from routing decisions.
+- :class:`MembersTable` — the children this node has adopted (cluster
+  members), recorded at join time.
+- :class:`MemberNetworksTable` — which descendants are reachable through
+  which child; populated as convergecast traffic flows upward (every
+  report teaches each forwarder "``origin`` lies behind the hop I got it
+  from"), and consulted for *downward* routing.
+
+All iteration orders are deterministic (sorted by name) so identical
+seeds produce identical routing decisions regardless of dict history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .messages import UNREACHABLE, Hello
+
+__all__ = ["NeighborEntry", "NeighborTable", "MembersTable",
+           "MemberNetworksTable"]
+
+
+@dataclass
+class NeighborEntry:
+    """One row of the neighbour table.
+
+    ``hops`` is the *neighbourhood* distance (1 = heard directly,
+    2 = learned via table sharing), not the tree depth;
+    ``hop_count_to_sink`` is the neighbour's advertised tree depth.
+    ``via`` names the direct neighbour that advertised a two-hop entry
+    (``None`` for direct neighbours).
+    """
+
+    name: str
+    hops: int
+    via: Optional[str]
+    rssi_dbm: float
+    last_heard_s: float
+    hop_count_to_sink: int = UNREACHABLE
+    parent: Optional[str] = None
+
+    @property
+    def joined(self) -> bool:
+        return self.hop_count_to_sink < UNREACHABLE
+
+
+class NeighborTable:
+    """Per-node neighbour state, fed by HELLO receptions."""
+
+    def __init__(self, owner: str, max_age_s: float) -> None:
+        if max_age_s <= 0:
+            raise ValueError(f"max_age_s must be > 0, got {max_age_s}")
+        self.owner = owner
+        self.max_age_s = max_age_s
+        self.entries: Dict[str, NeighborEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def get(self, name: str) -> Optional[NeighborEntry]:
+        return self.entries.get(name)
+
+    # ------------------------------------------------------------------
+    def observe_hello(self, hello: Hello, rssi_dbm: float, now: float) -> None:
+        """Fold one received HELLO into the table.
+
+        The sender becomes (or refreshes) a direct entry; every shared
+        neighbour becomes a two-hop entry *via* the sender — unless we
+        already hear that node directly (a direct entry is never
+        downgraded by sharing).
+        """
+        self.entries[hello.sender] = NeighborEntry(
+            name=hello.sender,
+            hops=1,
+            via=None,
+            rssi_dbm=rssi_dbm,
+            last_heard_s=now,
+            hop_count_to_sink=hello.hop_count,
+            parent=hello.parent,
+        )
+        for name, hop_count in hello.shared:
+            if name == self.owner:
+                continue
+            existing = self.entries.get(name)
+            if existing is not None and existing.hops == 1:
+                # Keep the direct observation; sharing only ever *adds*
+                # reach, it never overrides first-hand RSSI/tree state.
+                continue
+            self.entries[name] = NeighborEntry(
+                name=name,
+                hops=2,
+                via=hello.sender,
+                rssi_dbm=rssi_dbm,
+                last_heard_s=now,
+                hop_count_to_sink=hop_count,
+            )
+
+    def age(self, now: float) -> List[str]:
+        """Drop entries not refreshed within ``max_age_s``; return them.
+
+        A two-hop entry also dies with the direct neighbour it was
+        learned through — stale ``via`` pointers must not survive as
+        routes.
+        """
+        expired = [
+            name for name, e in self.entries.items()
+            if now - e.last_heard_s > self.max_age_s
+        ]
+        for name in expired:
+            del self.entries[name]
+        if expired:
+            gone = set(expired)
+            orphans = [
+                name for name, e in self.entries.items()
+                if e.via is not None and e.via in gone
+            ]
+            for name in orphans:
+                del self.entries[name]
+            expired.extend(orphans)
+        return sorted(expired)
+
+    # ------------------------------------------------------------------
+    def route_to(self, destination: str,
+                 min_rssi_dbm: Optional[float] = None) -> Optional[str]:
+        """Mesh next hop toward ``destination``, if the table knows one.
+
+        Direct neighbours are reached directly; two-hop neighbours via
+        the direct neighbour that shared them.  Returns ``None`` when
+        the destination is outside the (two-hop) mesh horizon, or when
+        ``min_rssi_dbm`` is given and the first hop was last heard below
+        it (an audible link is not necessarily a usable one).
+        """
+        entry = self.entries.get(destination)
+        if entry is None:
+            return None
+        if entry.hops == 1:
+            if min_rssi_dbm is not None and entry.rssi_dbm < min_rssi_dbm:
+                return None
+            return destination
+        if entry.via is not None:
+            via = self.entries.get(entry.via)
+            if via is None:
+                return None
+            if min_rssi_dbm is not None and via.rssi_dbm < min_rssi_dbm:
+                return None
+            return entry.via
+        return None
+
+    def best_parent(
+        self, min_rssi_dbm: Optional[float] = None
+    ) -> Optional[NeighborEntry]:
+        """The best candidate parent among *direct, joined* neighbours.
+
+        Selection per the cluster-tree rule: lowest advertised hop count
+        to the sink first, then strongest link (RSSI), then name — the
+        final tiebreak keeps the choice deterministic.  ``min_rssi_dbm``
+        applies the same link-quality gate as mesh routing: a parent
+        whose beacons arrive near sensitivity would lose most upward
+        traffic to retry exhaustion.
+        """
+        candidates = [
+            e for e in self.entries.values()
+            if e.hops == 1 and e.joined
+            and (min_rssi_dbm is None or e.rssi_dbm >= min_rssi_dbm)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda e: (e.hop_count_to_sink, -e.rssi_dbm, e.name),
+        )
+
+    def direct(self) -> List[NeighborEntry]:
+        """Direct neighbours, name-sorted (deterministic)."""
+        return sorted(
+            (e for e in self.entries.values() if e.hops == 1),
+            key=lambda e: e.name,
+        )
+
+    def shared_slice(self, limit: int) -> List[NeighborEntry]:
+        """The direct entries advertised in this node's own HELLOs."""
+        return self.direct()[:limit]
+
+
+class MembersTable:
+    """Children adopted by this node, with their join times."""
+
+    def __init__(self) -> None:
+        self.children: Dict[str, float] = {}
+
+    def add(self, child: str, now: float) -> None:
+        self.children.setdefault(child, now)
+
+    def remove(self, child: str) -> None:
+        self.children.pop(child, None)
+
+    def __contains__(self, child: str) -> bool:
+        return child in self.children
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def names(self) -> List[str]:
+        return sorted(self.children)
+
+
+class MemberNetworksTable:
+    """Downward routes: descendant -> the child subtree holding it.
+
+    Learned from upward traffic (each forwarded report teaches
+    ``origin -> previous hop``), so the table converges to the live tree
+    without any extra control traffic.
+    """
+
+    def __init__(self) -> None:
+        self.routes: Dict[str, str] = {}
+
+    def learn(self, descendant: str, via_child: str) -> None:
+        self.routes[descendant] = via_child
+
+    def forget_child(self, child: str) -> None:
+        """Drop every route through ``child`` (it left the cluster)."""
+        for name in [n for n, via in self.routes.items() if via == child]:
+            del self.routes[name]
+
+    def route_to(self, destination: str) -> Optional[str]:
+        return self.routes.get(destination)
+
+    def __len__(self) -> int:
+        return len(self.routes)

@@ -1,0 +1,146 @@
+"""Cluster-tree formation: the sink-rooted join state machine.
+
+Every router owns one :class:`TreeMembership`.  The sink is born joined
+at hop count 0; everyone else starts unjoined and, as soon as the
+neighbour table holds a *direct, joined* candidate, runs the handshake:
+
+1. pick the best candidate parent — lowest advertised hop count to the
+   sink, ties broken by link quality (RSSI) then name;
+2. unicast a :class:`~repro.net.routing.messages.JoinRequest` to it and
+   arm a retry timer;
+3. the parent (if still joined) records the child in its members table
+   and unicasts a :class:`~repro.net.routing.messages.JoinAccept`
+   carrying the child's hop count;
+4. the child becomes joined on the accept; its next HELLOs advertise
+   the new hop count, letting the frontier advance one ring per beacon
+   interval.
+
+Losing the parent (aged out of the neighbour table) reverts the node to
+unjoined — it keeps its children but stops forwarding upward until it
+re-joins through someone else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ...phy.frame import Frame
+from .messages import (
+    JOIN_PAYLOAD_BYTES,
+    UNREACHABLE,
+    JoinAccept,
+    JoinRequest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .forwarding import Router
+
+__all__ = ["TreeMembership"]
+
+
+class TreeMembership:
+    """Join state of one router."""
+
+    def __init__(self, router: "Router", is_sink: bool) -> None:
+        self.router = router
+        self.is_sink = is_sink
+        self.joined = is_sink
+        self.hop_count = 0 if is_sink else UNREACHABLE
+        self.parent: Optional[str] = None
+        #: Simulation time of the *first* successful join (the paper
+        #: metric "average time to join the network"); ``None`` until
+        #: then.  The sink joins at t = 0 by construction.
+        self.join_time_s: Optional[float] = 0.0 if is_sink else None
+        self.join_requests_sent = 0
+        self._pending_parent: Optional[str] = None
+        self._retry_event = None
+
+    # ------------------------------------------------------------------
+    def maybe_join(self) -> None:
+        """Start (or restart) the handshake if unjoined and a candidate
+        parent is visible.  Called after every HELLO fold and on retry
+        timer expiry — idempotent while a request is outstanding."""
+        if self.joined or self._pending_parent is not None:
+            return
+        candidate = self.router.neighbors.best_parent(
+            min_rssi_dbm=self.router.config.mesh_rssi_floor_dbm
+        )
+        if candidate is None:
+            return
+        self._pending_parent = candidate.name
+        self.join_requests_sent += 1
+        router = self.router
+        sim = router.node.sim
+        frame = Frame(
+            source=router.name,
+            destination=candidate.name,
+            payload_bytes=JOIN_PAYLOAD_BYTES,
+            created_s=sim.now,
+            info=JoinRequest(child=router.name, parent=candidate.name),
+        )
+        router.submit_control(frame)
+        self._retry_event = sim.schedule(
+            router.config.join_retry_s,
+            self._on_retry_timeout,
+            tag=f"join_retry.{router.name}",
+        )
+
+    def _on_retry_timeout(self) -> None:
+        self._retry_event = None
+        self._pending_parent = None
+        self.maybe_join()
+
+    def _cancel_retry(self) -> None:
+        if self._retry_event is not None:
+            self.router.node.sim.cancel(self._retry_event)
+            self._retry_event = None
+
+    # ------------------------------------------------------------------
+    # Message handlers (dispatched by the router)
+    # ------------------------------------------------------------------
+    def on_join_request(self, request: JoinRequest) -> None:
+        """Adopt a child (we are the requested parent)."""
+        router = self.router
+        if not self.joined:
+            return  # lost the tree since advertising; child will retry
+        sim = router.node.sim
+        router.members.add(request.child, sim.now)
+        accept = Frame(
+            source=router.name,
+            destination=request.child,
+            payload_bytes=JOIN_PAYLOAD_BYTES,
+            created_s=sim.now,
+            info=JoinAccept(
+                parent=router.name,
+                child=request.child,
+                hop_count=self.hop_count + 1,
+            ),
+        )
+        router.submit_control(accept)
+
+    def on_join_accept(self, accept: JoinAccept) -> None:
+        if self.joined:
+            return  # duplicate accept (MAC retry); already in the tree
+        self._cancel_retry()
+        self._pending_parent = None
+        self.joined = True
+        self.parent = accept.parent
+        self.hop_count = accept.hop_count
+        now = self.router.node.sim.now
+        first = self.join_time_s is None
+        if first:
+            self.join_time_s = now
+        self.router.on_joined(parent=accept.parent,
+                              hop_count=accept.hop_count, first=first)
+
+    # ------------------------------------------------------------------
+    def on_parent_lost(self) -> None:
+        """The parent aged out of the neighbour table: back to unjoined."""
+        if self.is_sink:
+            return
+        self.joined = False
+        self.parent = None
+        self.hop_count = UNREACHABLE
+        self._cancel_retry()
+        self._pending_parent = None
+        self.maybe_join()

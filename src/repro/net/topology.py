@@ -41,6 +41,8 @@ __all__ = [
     "one_region_topology",
     "separated_clusters_topology",
     "random_topology",
+    "grid_topology",
+    "sink_name",
 ]
 
 
@@ -277,6 +279,67 @@ def random_topology(
             ]
         networks.append(_build_network(index, channel, positions, rng, power))
     return networks
+
+
+def sink_name(label: str) -> str:
+    """Canonical name of a grid network's sink node."""
+    return f"{label}.sink"
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    pitch_m: float,
+    channel_mhz: float,
+    label: str = "N0",
+    origin: Position = (0.0, 0.0),
+    tx_power_dbm: float = 0.0,
+    jitter_m: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> NetworkSpec:
+    """A reproducible multi-hop scene: ``rows x cols`` motes on a grid.
+
+    The sink sits at the ``origin`` corner (grid index ``(0, 0)``) and is
+    named :func:`sink_name` (``"{label}.sink"``); every other mote is
+    ``"{label}.g{r}_{c}"`` at ``origin + (c * pitch_m, r * pitch_m)``.
+    With the default calibration (log-distance, exponent 3, 0 dBm) a
+    pitch of ~30 m makes only grid neighbours reliable links, so the far
+    corner of a 4x4 grid is several radio hops from the sink — the
+    multi-hop regime the routing layer is evaluated in.
+
+    ``jitter_m`` perturbs every non-sink position uniformly in
+    ``[-jitter_m, +jitter_m]`` per axis (deterministic under ``rng``),
+    modelling imperfect hand placement.  The minimum pairwise distance is
+    then bounded below by ``pitch_m - 2 * sqrt(2) * jitter_m``.
+
+    No :class:`LinkSpec` entries are generated: traffic on a grid is
+    routed hop-by-hop by :mod:`repro.net.routing`, not delivered over
+    fixed single-hop links.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid needs rows, cols >= 1; got {rows}x{cols}")
+    if pitch_m <= 0:
+        raise ValueError(f"pitch_m must be > 0, got {pitch_m}")
+    if jitter_m < 0:
+        raise ValueError(f"jitter_m must be >= 0, got {jitter_m}")
+    if jitter_m > 0 and rng is None:
+        raise ValueError("jitter_m > 0 requires an rng")
+    nodes: List[NodeSpec] = []
+    for r in range(rows):
+        for c in range(cols):
+            x = origin[0] + c * pitch_m
+            y = origin[1] + r * pitch_m
+            if r == 0 and c == 0:
+                nodes.append(NodeSpec(sink_name(label), (x, y), tx_power_dbm))
+                continue
+            if jitter_m > 0:
+                assert rng is not None
+                x += float(rng.uniform(-jitter_m, jitter_m))
+                y += float(rng.uniform(-jitter_m, jitter_m))
+            nodes.append(
+                NodeSpec(f"{label}.g{r}_{c}", (x, y), tx_power_dbm)
+            )
+    return NetworkSpec(label, channel_mhz, tuple(nodes), ())
 
 
 def _pair_closest_first(

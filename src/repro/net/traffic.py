@@ -37,7 +37,14 @@ DEFAULT_PAYLOAD_BYTES = 60
 
 
 class TrafficSource:
-    """Base: a generator of frames from ``node`` to ``destination``."""
+    """Base: a generator of frames from ``node`` to ``destination``.
+
+    Every frame a source creates is stamped with a per-source monotonic
+    application sequence number (``Frame.source_seq``) and the simulation
+    time of creation (``Frame.created_s``) — the anchors end-to-end
+    delivery-delay and loss metrics key on (the MAC's own ``sequence``
+    restarts per hop and says nothing about creation time).
+    """
 
     def __init__(
         self,
@@ -67,6 +74,8 @@ class TrafficSource:
             source=self.node.name,
             destination=self.destination,
             payload_bytes=self.payload_bytes,
+            source_seq=self.generated,
+            created_s=self.node.sim.now,
             **kwargs,
         )
 

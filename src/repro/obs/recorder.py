@@ -209,6 +209,39 @@ class Observability:
                              now, value_dbm)
 
     # ------------------------------------------------------------------
+    # Routing hooks (repro.net.routing; same guard discipline)
+    # ------------------------------------------------------------------
+    def on_route_created(self, node: str) -> None:
+        self.registry.counter("route.created", node=node).inc()
+
+    def on_route_forwarded(self, node: str) -> None:
+        self.registry.counter("route.forwarded", node=node).inc()
+
+    def on_route_dropped(self, node: str, reason: str) -> None:
+        self.registry.counter("route.dropped", node=node, reason=reason).inc()
+
+    def on_route_delivered(self, origin: str, sink: str, created_s: float,
+                           now: float, hops: int) -> None:
+        """One report arrived at its final destination: a ``route`` span
+        covering the whole creation-to-delivery interval, plus delay and
+        hop-count distributions keyed by the delivering sink."""
+        registry = self.registry
+        registry.counter("route.delivered", node=sink).inc()
+        registry.histogram("route.delay_s", node=sink).observe(now - created_s)
+        registry.histogram("route.hops", node=sink).observe(float(hops))
+        self.span("route", sink, created_s, now, origin=origin, hops=hops)
+
+    def on_route_joined(self, node: str, join_time_s: float, parent: str,
+                        hop_count: int) -> None:
+        """First successful tree join of ``node``: a ``join`` span from
+        the observation start to the join instant (the join-time metric),
+        plus the network-wide join-time distribution."""
+        self.registry.counter("route.join_time_s", node=node).inc(join_time_s)
+        self.registry.histogram("route.join_time_s").observe(join_time_s)
+        self.span("join", node, self.start_time, join_time_s,
+                  parent=parent, hop=hop_count)
+
+    # ------------------------------------------------------------------
     def _emit_point(self, name: str, labels: Dict[str, str], time: float,
                     value: float) -> None:
         assert self.sink is not None

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ..experiments.results import ResultTable
 from .recorder import Observability
 
-__all__ = ["node_table", "channel_table", "summary_tables"]
+__all__ = ["node_table", "channel_table", "routing_table", "summary_tables"]
 
 
 def _by_label(metrics, label: str) -> Dict[str, object]:
@@ -110,6 +110,64 @@ def _iter_channel_nodes(recorder: Observability):
     return recorder.node_channels.items()
 
 
+def routing_table(recorder: Observability,
+                  title: str = "routing metrics") -> Optional[ResultTable]:
+    """One row per node that touched the routing layer.
+
+    Returns ``None`` when the run recorded no routing metrics at all
+    (non-routing exhibits keep their two-table summary unchanged).
+    """
+    created = _by_label(recorder.registry.counters("route.created"), "node")
+    forwarded = _by_label(
+        recorder.registry.counters("route.forwarded"), "node")
+    delivered = _by_label(
+        recorder.registry.counters("route.delivered"), "node")
+    delays = _by_label(recorder.registry.histograms("route.delay_s"), "node")
+    hops = _by_label(recorder.registry.histograms("route.hops"), "node")
+    joins = _by_label(
+        recorder.registry.counters("route.join_time_s"), "node")
+    dropped: Dict[str, float] = {}
+    for counter in recorder.registry.counters("route.dropped"):
+        node = dict(counter.labels).get("node")
+        if node is not None:
+            dropped[node] = dropped.get(node, 0.0) + counter.value
+    nodes = sorted(
+        set(created) | set(forwarded) | set(delivered) | set(joins)
+        | set(dropped)
+    )
+    if not nodes:
+        return None
+    table = ResultTable(title=title)
+    for name in nodes:
+        delay = delays.get(name)
+        hop = hops.get(name)
+        join = joins.get(name)
+        table.add_row(
+            node=name,
+            created=int(created[name].value) if name in created else 0,
+            fwd=int(forwarded[name].value) if name in forwarded else 0,
+            delivered=int(delivered[name].value) if name in delivered else 0,
+            dropped=int(dropped.get(name, 0)),
+            delay_p50_ms=(delay.p50 * 1e3
+                          if delay is not None and delay.p50 is not None
+                          else None),
+            delay_p95_ms=(delay.p95 * 1e3
+                          if delay is not None and delay.p95 is not None
+                          else None),
+            hops_mean=(hop.mean if hop is not None and hop.count else None),
+            join_s=(join.value if join is not None else None),
+        )
+    overall = next(
+        (h for h in recorder.registry.histograms("route.join_time_s")
+         if not h.labels), None)
+    if overall is not None and overall.count:
+        table.add_note(
+            f"join time: mean {overall.mean:.3f} s, "
+            f"max {overall.max:.3f} s over {overall.count} nodes"
+        )
+    return table
+
+
 def summary_tables(recorders: List[Observability],
                    exhibit: Optional[str] = None) -> List[ResultTable]:
     """Node + channel tables for every recorder of a session."""
@@ -122,4 +180,8 @@ def summary_tables(recorders: List[Observability],
             recorder, title=f"{prefix}per-node metrics{suffix}"))
         tables.append(channel_table(
             recorder, title=f"{prefix}per-channel metrics{suffix}"))
+        routing = routing_table(
+            recorder, title=f"{prefix}routing metrics{suffix}")
+        if routing is not None:
+            tables.append(routing)
     return tables

@@ -15,6 +15,9 @@ The suite times the hot paths the PR-2 performance layer optimised:
   overhead regressions fail CI);
 - ``obs_on_mini_run``   — the same run fully instrumented (spans +
   gauge sampling), recording the opt-in cost per frame;
+- ``routing_mini_run``  — a 3×3 grid running the full routing stack
+  (HELLO discovery, tree join, convergecast forwarding), costed per
+  delivered end-to-end report;
 - ``fig19_fast``        — an end-to-end representative exhibit (skipped
   in ``--quick`` mode).
 
@@ -254,6 +257,34 @@ def _bench_obs_mini_run(enabled: bool, sim_s: float = 0.5) -> Dict[str, Any]:
     return {"wall_s": wall, "n": frames, "per_op_us": wall / frames * 1e6}
 
 
+def _bench_routing_mini_run(sim_s: float = 8.0) -> Dict[str, Any]:
+    """Routing-layer overhead: one 3×3 grid running HELLO discovery,
+    tree join and convergecast, costed per *delivered* report — the
+    full stack (router dispatch, table folds, forwarding queue) on top
+    of the MAC/PHY the other benches isolate."""
+    from ..mac.params import MacParams
+    from ..net.deployment import Deployment
+    from ..net.routing import RoutingFabric
+    from ..net.topology import grid_topology
+
+    deployment = Deployment(
+        [grid_topology(3, 3, 30.0, 2460.0)],
+        seed=1,
+        saturate_senders=False,
+        mac_params=MacParams(ack_enabled=True),
+    )
+    fabric = RoutingFabric(deployment)
+    fabric.start()
+    fabric.attach_convergecast(interval_s=0.25, start_delay_s=2.0)
+    fabric.start_sources()
+    t0 = time.perf_counter()
+    deployment.sim.run(sim_s)
+    wall = time.perf_counter() - t0
+    delivered = sum(len(s.stats.delays_s) for s in fabric.sink_routers())
+    assert delivered > 0
+    return {"wall_s": wall, "n": delivered, "per_op_us": wall / delivered * 1e6}
+
+
 def _bench_fig19_fast() -> Dict[str, Any]:
     from ..experiments.figures import fig19
 
@@ -303,6 +334,8 @@ def run_bench_suite(quick: bool = False, verbose: bool = True) -> Dict[str, Any]
         # >25%); obs_on records the full-instrumentation cost per frame.
         ("obs_off_mini_run", lambda: _bench_obs_mini_run(False)),
         ("obs_on_mini_run", lambda: _bench_obs_mini_run(True)),
+        # Routing stack cost per delivered convergecast report.
+        ("routing_mini_run", lambda: _bench_routing_mini_run()),
     ]
     plan = [(name, lambda fn=fn: _best_of(fn)) for name, fn in plan]
     if not quick:

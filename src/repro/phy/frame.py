@@ -99,6 +99,21 @@ class Frame:
     ack_request:
         True when the sender expects an acknowledgement (unicast data
         frames under an ACK-enabled MAC).
+    source_seq:
+        Per-*source* monotonic application sequence number, stamped by
+        the traffic source (or routing layer) that created the frame.
+        Distinct from :attr:`sequence`, which the MAC assigns per
+        transmission attempt queue entry: ``source_seq`` survives
+        multi-hop re-framing and is what end-to-end metrics key on.
+    created_s:
+        Simulation time at which the *application* payload was created
+        (``None`` for frames no source stamped, e.g. MAC-generated
+        ACKs).  End-to-end delay is ``delivery_time - created_s``.
+    info:
+        Opaque in-simulation metadata riding with the frame — the
+        routing layer attaches its message header here.  ``info`` is
+        never serialised to air; its on-air size must be accounted for
+        in ``payload_bytes`` by whoever attaches it.
     """
 
     source: str
@@ -109,6 +124,9 @@ class Frame:
     bit_rate_bps: int = BIT_RATE_BPS
     is_ack: bool = False
     ack_request: bool = False
+    source_seq: int = 0
+    created_s: Optional[float] = None
+    info: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

@@ -1,0 +1,220 @@
+"""Unit and integration tests for repro.net.routing."""
+
+import json
+
+import pytest
+
+from repro.net.routing import RoutingConfig
+from repro.net.routing.messages import (
+    DATA_HEADER_BYTES,
+    UNREACHABLE,
+    DataHeader,
+    Hello,
+    hello_payload_bytes,
+)
+from repro.net.routing.tables import (
+    MembersTable,
+    MemberNetworksTable,
+    NeighborTable,
+)
+from repro.obs.recorder import Observability
+from repro.obs.summary import routing_table
+from repro.experiments.scenarios import convergecast_testbed
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+def test_hello_payload_scales_with_sharing():
+    assert hello_payload_bytes(0) == 8
+    assert hello_payload_bytes(4) == 8 + 4 * 3
+    assert DATA_HEADER_BYTES == 12
+
+
+def test_data_header_forwarding_trace():
+    header = DataHeader(
+        origin="a", destination="sink", seq=7, ttl=16, created_s=1.5
+    )
+    hop1 = header.forwarded_by("a")
+    hop2 = hop1.forwarded_by("b")
+    assert hop2.ttl == 14
+    assert hop2.hops == 2
+    assert hop2.path == ("a", "b")
+    # immutable provenance: origin/seq/timestamp survive re-framing
+    assert (hop2.origin, hop2.seq, hop2.created_s) == ("a", 7, 1.5)
+    assert header.path == ()
+
+
+# ---------------------------------------------------------------------------
+# Neighbour table
+# ---------------------------------------------------------------------------
+def hello(sender, hop_count=UNREACHABLE, parent=None, shared=()):
+    return Hello(sender=sender, hop_count=hop_count, parent=parent,
+                 shared=tuple(shared))
+
+
+def test_observe_hello_direct_and_shared():
+    table = NeighborTable("me", max_age_s=2.0)
+    table.observe_hello(
+        hello("a", hop_count=1, parent="sink", shared=[("b", 2), ("me", 0)]),
+        rssi_dbm=-80.0, now=1.0,
+    )
+    assert "a" in table and "b" in table
+    assert "me" not in table  # sharing never creates a self-entry
+    assert table.get("a").hops == 1
+    assert table.get("b").hops == 2
+    assert table.get("b").via == "a"
+
+
+def test_sharing_never_downgrades_direct_entry():
+    table = NeighborTable("me", max_age_s=2.0)
+    table.observe_hello(hello("b", hop_count=3), rssi_dbm=-70.0, now=1.0)
+    table.observe_hello(
+        hello("a", shared=[("b", 1)]), rssi_dbm=-60.0, now=1.1
+    )
+    entry = table.get("b")
+    assert entry.hops == 1 and entry.via is None
+    assert entry.rssi_dbm == -70.0
+
+
+def test_aging_drops_stale_and_via_orphans():
+    table = NeighborTable("me", max_age_s=1.0)
+    table.observe_hello(
+        hello("a", shared=[("b", 2)]), rssi_dbm=-70.0, now=0.0
+    )
+    table.observe_hello(hello("c"), rssi_dbm=-70.0, now=1.5)
+    expired = table.age(now=2.0)
+    # "a" is stale; "b" was only reachable via "a" and dies with it
+    assert expired == ["a", "b"]
+    assert "c" in table and len(table) == 1
+
+
+def test_route_to_applies_rssi_floor():
+    table = NeighborTable("me", max_age_s=5.0)
+    table.observe_hello(
+        hello("weak", shared=[("behind_weak", 2)]), rssi_dbm=-92.0, now=0.0
+    )
+    table.observe_hello(hello("strong"), rssi_dbm=-60.0, now=0.0)
+    assert table.route_to("strong") == "strong"
+    assert table.route_to("weak") == "weak"
+    assert table.route_to("behind_weak") == "weak"
+    # audible but below the floor: not a usable first hop
+    assert table.route_to("weak", min_rssi_dbm=-88.0) is None
+    assert table.route_to("behind_weak", min_rssi_dbm=-88.0) is None
+    assert table.route_to("strong", min_rssi_dbm=-88.0) == "strong"
+    assert table.route_to("unknown") is None
+
+
+def test_best_parent_prefers_depth_then_rssi():
+    table = NeighborTable("me", max_age_s=5.0)
+    table.observe_hello(hello("deep", hop_count=3), rssi_dbm=-50.0, now=0.0)
+    table.observe_hello(hello("shallow_weak", hop_count=1),
+                        rssi_dbm=-80.0, now=0.0)
+    table.observe_hello(hello("shallow_strong", hop_count=1),
+                        rssi_dbm=-60.0, now=0.0)
+    table.observe_hello(hello("unjoined"), rssi_dbm=-40.0, now=0.0)
+    best = table.best_parent()
+    assert best is not None and best.name == "shallow_strong"
+    # the floor can disqualify the shallow candidates entirely
+    table.observe_hello(hello("shallow_weak", hop_count=1),
+                        rssi_dbm=-93.0, now=0.1)
+    table.observe_hello(hello("shallow_strong", hop_count=1),
+                        rssi_dbm=-93.0, now=0.1)
+    best = table.best_parent(min_rssi_dbm=-88.0)
+    assert best is not None and best.name == "deep"
+
+
+def test_members_and_member_networks():
+    members = MembersTable()
+    members.add("child", now=1.0)
+    members.add("child", now=9.0)  # re-join keeps the first timestamp
+    assert "child" in members and members.children["child"] == 1.0
+    members.remove("child")
+    assert "child" not in members
+
+    downward = MemberNetworksTable()
+    downward.learn("leaf1", via_child="child_a")
+    downward.learn("leaf2", via_child="child_b")
+    assert downward.route_to("leaf1") == "child_a"
+    downward.forget_child("child_a")
+    assert downward.route_to("leaf1") is None
+    assert downward.route_to("leaf2") == "child_b"
+
+
+def test_routing_config_validation():
+    with pytest.raises(ValueError):
+        RoutingConfig(hello_interval_s=0.0)
+    with pytest.raises(ValueError):
+        RoutingConfig(hello_jitter=1.0)
+    with pytest.raises(ValueError):
+        RoutingConfig(ttl=0)
+    with pytest.raises(ValueError):
+        RoutingConfig(neighbor_max_age_s=0.4)  # must cover one interval
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: interleaved grids, tree join, convergecast delivery
+# ---------------------------------------------------------------------------
+def run_grid(seed=1, obs=None, sim_s=8.0):
+    deployment, fabric = convergecast_testbed("orthogonal", seed=seed,
+                                              obs=obs)
+    fabric.start()
+    fabric.attach_convergecast(interval_s=0.5, start_delay_s=3.0)
+    fabric.start_sources()
+    deployment.sim.run(sim_s)
+    fabric.stop()
+    deployment.sim.run(deployment.sim.now + 1.0)  # bounded in-flight drain
+    return deployment, fabric
+
+
+def test_tree_forms_and_reports_deliver():
+    _, fabric = run_grid()
+    summary = fabric.summary()
+    assert summary["joined_fraction"] == 1.0
+    assert summary["created"] > 0
+    assert summary["delivery_ratio"] > 0.8
+    assert summary["hops_max"] >= 2.0  # genuinely multi-hop
+    assert 0.0 < summary["delay_mean_s"] <= summary["delay_max_s"]
+    for sink in fabric.sink_routers():
+        assert sink.hop_count == 0
+        assert len(sink.stats.delays_s) == len(sink.stats.hop_counts)
+
+
+def test_summary_deterministic_for_same_seed():
+    _, fabric_a = run_grid(seed=5)
+    _, fabric_b = run_grid(seed=5)
+    assert json.dumps(fabric_a.summary()) == json.dumps(fabric_b.summary())
+
+
+def test_summary_seed_sensitive():
+    _, fabric_a = run_grid(seed=5)
+    _, fabric_b = run_grid(seed=6)
+    assert json.dumps(fabric_a.summary()) != json.dumps(fabric_b.summary())
+
+
+def test_observability_neutral_and_populated():
+    obs = Observability(sample_interval_s=None)
+    _, with_obs = run_grid(obs=obs)
+    _, without = run_grid()
+    # telemetry must not perturb the model
+    assert json.dumps(with_obs.summary()) == json.dumps(without.summary())
+
+    created = sum(
+        c.value for c in obs.registry.counters("route.created")
+    )
+    delivered = sum(
+        c.value for c in obs.registry.counters("route.delivered")
+    )
+    assert created == with_obs.summary()["created"]
+    assert delivered == with_obs.summary()["delivered"]
+    delays = [h for h in obs.registry.histograms("route.delay_s")]
+    assert delays and all(h.count > 0 for h in delays)
+
+    table = routing_table(obs)
+    assert table is not None
+    assert any("join" in c for c in table.columns())
+
+
+def test_routing_table_absent_without_routing_metrics():
+    obs = Observability(sample_interval_s=None)
+    assert routing_table(obs) is None

@@ -8,10 +8,12 @@ from hypothesis import given, settings, strategies as st
 from repro.net.topology import (
     clustered_region_topology,
     fixed_power,
+    grid_topology,
     one_region_topology,
     random_power,
     random_topology,
     separated_clusters_topology,
+    sink_name,
 )
 from repro.phy.spectrum import EVALUATION_BAND, ChannelPlan
 from repro.sim.rng import RngStreams
@@ -152,3 +154,96 @@ def test_links_per_network_honoured(links):
     for spec in specs:
         assert len(spec.links) == links
         assert len(spec.nodes) == 2 * links
+
+
+# ---------------------------------------------------------------------------
+# grid_topology (the multi-hop routing scene)
+# ---------------------------------------------------------------------------
+def test_grid_structure():
+    spec = grid_topology(3, 4, 30.0, 2460.0, label="G")
+    assert spec.label == "G"
+    assert spec.channel_mhz == 2460.0
+    assert len(spec.nodes) == 12
+    assert spec.links == ()  # grids route hop-by-hop, no fixed links
+    names = [n.name for n in spec.nodes]
+    assert len(names) == len(set(names))
+    assert sink_name("G") in names
+    assert "G.g2_3" in names  # far corner of a 3x4 grid
+
+
+def test_grid_positions_without_jitter():
+    spec = grid_topology(2, 3, 10.0, 2460.0, origin=(5.0, -2.0))
+    positions = {n.name: n.position for n in spec.nodes}
+    assert positions[sink_name("N0")] == (5.0, -2.0)
+    assert positions["N0.g0_2"] == (25.0, -2.0)
+    assert positions["N0.g1_0"] == (5.0, 8.0)
+    assert positions["N0.g1_2"] == (25.0, 8.0)
+
+
+def test_grid_sink_never_jittered():
+    spec = grid_topology(3, 3, 30.0, 2460.0, jitter_m=5.0, rng=rng(11))
+    positions = {n.name: n.position for n in spec.nodes}
+    assert positions[sink_name("N0")] == (0.0, 0.0)
+
+
+def test_grid_deterministic_for_same_seed():
+    a = grid_topology(4, 4, 30.0, 2460.0, jitter_m=3.0, rng=rng(7))
+    b = grid_topology(4, 4, 30.0, 2460.0, jitter_m=3.0, rng=rng(7))
+    assert a == b
+
+
+def test_grid_different_seeds_differ():
+    a = grid_topology(4, 4, 30.0, 2460.0, jitter_m=3.0, rng=rng(7))
+    b = grid_topology(4, 4, 30.0, 2460.0, jitter_m=3.0, rng=rng(8))
+    assert a != b
+
+
+def test_grid_nodes_stay_in_region():
+    pitch, jitter = 30.0, 4.0
+    spec = grid_topology(5, 5, pitch, 2460.0, jitter_m=jitter, rng=rng(3))
+    span = 4 * pitch
+    for node in spec.nodes:
+        for axis in (0, 1):
+            assert -jitter - 1e-9 <= node.position[axis] <= span + jitter + 1e-9
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        grid_topology(0, 3, 30.0, 2460.0)
+    with pytest.raises(ValueError):
+        grid_topology(3, 3, 0.0, 2460.0)
+    with pytest.raises(ValueError):
+        grid_topology(3, 3, 30.0, 2460.0, jitter_m=-1.0)
+    with pytest.raises(ValueError):
+        # jitter without an rng would be irreproducible — rejected
+        grid_topology(3, 3, 30.0, 2460.0, jitter_m=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+    pitch=st.floats(min_value=5.0, max_value=60.0),
+    jitter_frac=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_grid_pitch_bounds_min_pairwise_distance(
+    rows, cols, pitch, jitter_frac, seed
+):
+    """Pitch minus worst-case jitter lower-bounds the closest node pair.
+
+    Two jittered nodes can each move up to ``sqrt(2) * jitter_m`` toward
+    each other, so ``pitch_m - 2 * sqrt(2) * jitter_m`` bounds the minimum
+    pairwise distance.  ``jitter_frac <= 0.3`` keeps the bound positive
+    (2 * sqrt(2) * 0.3 < 0.849 < 1).
+    """
+    jitter = jitter_frac * pitch
+    spec = grid_topology(
+        rows, cols, pitch, 2460.0,
+        jitter_m=jitter, rng=rng(seed) if jitter > 0 else None,
+    )
+    points = [n.position for n in spec.nodes]
+    bound = pitch - 2.0 * math.sqrt(2.0) * jitter
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            assert math.dist(points[i], points[j]) >= bound - 1e-9

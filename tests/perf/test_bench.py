@@ -22,6 +22,7 @@ QUICK_BENCHES = {
     "cca_probe_brute",
     "obs_off_mini_run",
     "obs_on_mini_run",
+    "routing_mini_run",
 }
 
 
