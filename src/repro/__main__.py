@@ -153,17 +153,30 @@ def _cmd_campaign_clean(args) -> int:
 
 
 def _cmd_perf_profile(args) -> int:
-    from .perf import profile_exhibit
+    from .perf import profile_exhibit, profile_scene
 
+    if (args.experiment is None) == (args.scene is None):
+        print("give either an exhibit id or --scene N", file=sys.stderr)
+        return 2
     try:
-        report = profile_exhibit(
-            args.experiment,
-            seed=args.seed,
-            fast=args.fast,
-            top=args.top,
-            sort=args.sort,
-            out=args.out,
-        )
+        if args.scene is not None:
+            report = profile_scene(
+                args.scene,
+                sim_s=args.sim_s,
+                seed=args.seed,
+                top=args.top,
+                sort=args.sort,
+                out=args.out,
+            )
+        else:
+            report = profile_exhibit(
+                args.experiment,
+                seed=args.seed,
+                fast=args.fast,
+                top=args.top,
+                sort=args.sort,
+                out=args.out,
+            )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -346,9 +359,17 @@ def main(argv=None) -> int:
     perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
 
     p_profile = perf_sub.add_parser(
-        "profile", help="run one exhibit under cProfile"
+        "profile",
+        help="run one exhibit (or a synthetic --scene) under cProfile",
     )
-    p_profile.add_argument("experiment", help="exhibit id, e.g. fig19")
+    p_profile.add_argument("experiment", nargs="?", default=None,
+                           help="exhibit id, e.g. fig19 (omit with --scene)")
+    p_profile.add_argument("--scene", type=int, default=None, metavar="N",
+                           help="profile a synthetic N-mote dense scene "
+                                "instead of an exhibit")
+    p_profile.add_argument("--sim-s", type=float, default=0.02,
+                           help="simulated seconds for --scene "
+                                "(default 0.02)")
     p_profile.add_argument("--seed", type=int, default=1)
     p_profile.add_argument("--fast", action="store_true")
     p_profile.add_argument("--top", type=int, default=20,

@@ -39,6 +39,14 @@ class DcnCcaPolicy(CcaPolicy):
         self.config = config if config is not None else AdjustorConfig()
         self._adjustor: Optional[CcaAdjustor] = None
         self._mac: Optional["Mac"] = None
+        self._detached = False
+        #: Pending self-scheduled events, so :meth:`detach` can cancel
+        #: them: the sense sampler, the init-done marker and the Case-II
+        #: periodic timer (which otherwise re-arms forever and keeps
+        #: ``run_until_idle`` from terminating).
+        self._sense_event = None
+        self._init_event = None
+        self._periodic_event = None
 
     # ------------------------------------------------------------------
     # CcaPolicy interface
@@ -58,14 +66,34 @@ class DcnCcaPolicy(CcaPolicy):
         sim = mac.sim
         if self.config.t_init_s > 0:
             self._schedule_sense_sample()
-            sim.schedule(
+            self._init_event = sim.schedule(
                 self.config.t_init_s, self._finish_init, tag="dcn.init_done"
             )
         else:
             self._adjustor.finish_initialization()
-        sim.schedule(
+        self._periodic_event = sim.schedule(
             self._first_case2_delay(), self._periodic, tag="dcn.case2"
         )
+
+    def detach(self) -> None:
+        """Stop all self-scheduled timers so the simulation can drain.
+
+        Idempotent; safe before ``attach``.  The adjustor (and therefore
+        ``threshold_dbm``/``history``) stays usable — only the periodic
+        drivers stop.  If the initializing phase was still running it is
+        finished immediately so the threshold settles at its Case-I
+        value rather than staying pinned at the initial one.
+        """
+        self._detached = True
+        if self._mac is None:
+            return
+        sim = self._mac.sim
+        for event in (self._sense_event, self._init_event, self._periodic_event):
+            if event is not None:
+                sim.cancel(event)
+        self._sense_event = self._init_event = self._periodic_event = None
+        if self._adjustor is not None and self._adjustor.initializing:
+            self._adjustor.finish_initialization()
 
     def threshold_dbm(self) -> float:
         assert self._adjustor is not None, "policy not attached"
@@ -102,14 +130,20 @@ class DcnCcaPolicy(CcaPolicy):
 
         def _sample() -> None:
             assert self._adjustor is not None and self._mac is not None
+            if self._detached:
+                return
             if self._adjustor.initializing:
                 # A transmitting radio cannot sense; skip those samples.
                 if self._mac.radio.state is RadioState.IDLE:
                     self._adjustor.observe_sense(self._mac.radio.sense_power_dbm())
                     self._mac.radio.energy.note_sense_sample()
-                sim.schedule(self.config.sense_interval_s, _sample, tag="dcn.sense")
+                self._sense_event = sim.schedule(
+                    self.config.sense_interval_s, _sample, tag="dcn.sense"
+                )
 
-        sim.schedule(self.config.sense_interval_s, _sample, tag="dcn.sense")
+        self._sense_event = sim.schedule(
+            self.config.sense_interval_s, _sample, tag="dcn.sense"
+        )
 
     def _finish_init(self) -> None:
         assert self._adjustor is not None
@@ -120,7 +154,9 @@ class DcnCcaPolicy(CcaPolicy):
 
     def _periodic(self) -> None:
         assert self._adjustor is not None and self._mac is not None
+        if self._detached:
+            return
         self._adjustor.periodic_update()
-        self._mac.sim.schedule(
+        self._periodic_event = self._mac.sim.schedule(
             self.config.t_update_s, self._periodic, tag="dcn.case2"
         )

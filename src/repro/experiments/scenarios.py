@@ -37,6 +37,7 @@ from ..net.topology import (
     one_region_topology,
     random_power,
     random_topology,
+    scale_topology,
     separated_clusters_topology,
 )
 from ..phy.spectrum import EVALUATION_BAND, MOTIVATION_BAND, Band, ChannelPlan
@@ -54,6 +55,8 @@ __all__ = [
     "wideband_plan",
     "standard_testbed",
     "evaluation_testbed",
+    "scene_plan",
+    "large_scene",
     "cprr_rig",
     "section_iv_rig",
     "case_one",
@@ -140,6 +143,46 @@ def wideband_plan(cfd_mhz: float = 3.0, width_mhz: float = 18.0) -> ChannelPlan:
     """Section VII-B: a wider band (18 MHz -> 7 channels at 3 MHz)."""
     band = Band(2455.0, 2455.0 + width_mhz)
     return ChannelPlan.inclusive(band, cfd_mhz)
+
+
+def scene_plan() -> ChannelPlan:
+    """The scale-scene channel plan: the full 2.4 GHz band at 5 MHz
+    spacing (16 channels, 2405-2480 MHz) — wide enough that band
+    sharding has genuinely non-interacting frequency groups."""
+    return ChannelPlan.inclusive(Band(2405.0, 2480.0), 5.0)
+
+
+def large_scene(
+    n_motes: int = 1000,
+    seed: int = 1,
+    active_links_per_network: int = 1,
+    area_m2_per_mote: float = 20.0,
+    vectorized: Optional[bool] = None,
+    band_sharding: bool = False,
+) -> Deployment:
+    """A synthetic dense deployment for benchmarking and profiling.
+
+    ``n_motes`` motes spread over :func:`scene_plan`'s 16 channels at
+    constant spatial density (see
+    :func:`~repro.net.topology.scale_topology`); one saturated link per
+    channel by default, everyone else idle but audible.  Not a paper
+    configuration — this is the ``perf profile --scene N`` /
+    ``fanout_1k`` / ``mini_run_5k`` workload.
+    """
+    rng = RngStreams(seed).stream("topology")
+    specs = scale_topology(
+        scene_plan(),
+        rng,
+        n_motes,
+        active_links_per_network=active_links_per_network,
+        area_m2_per_mote=area_m2_per_mote,
+    )
+    return Deployment(
+        specs,
+        seed=seed,
+        vectorized=vectorized,
+        band_sharding=band_sharding,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,15 @@ class CcaPolicy:
         to schedule their own activity (e.g. DCN's initializing phase).
         """
 
+    def detach(self) -> None:
+        """Cancel any self-scheduled activity (timers, samplers).
+
+        Called when a deployment quiesces so that policies with periodic
+        timers (DCN's Case-II check) stop re-arming and
+        ``run_until_idle`` can terminate.  The policy's threshold remains
+        queryable afterwards; passive policies need not override this.
+        """
+
     def threshold_dbm(self) -> float:
         """Current energy-detection threshold."""
         raise NotImplementedError

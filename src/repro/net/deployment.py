@@ -89,6 +89,14 @@ class Deployment:
         default) means "cache, unless an active
         :class:`~repro.check.runtime.CheckSession` asks for the
         reference path".
+    vectorized:
+        Struct-of-arrays batched fan-out (see
+        :class:`~repro.phy.vectorized.VectorizedLinkCache`).  ``None``
+        (the default) enables it whenever the link cache is active;
+        ``False`` forces the scalar cache.
+    band_sharding:
+        Opt-in cross-band fan-out culling for large multi-band scenes
+        (approximate; see ``Medium``).  Default off.
     obs:
         Optional :class:`~repro.obs.recorder.Observability` telemetry
         recorder handed to the simulator.  ``None`` (the default) means
@@ -127,6 +135,8 @@ class Deployment:
         radio_config: Optional[RadioConfig] = None,
         trace: Optional[Trace] = None,
         link_cache: Optional[bool] = None,
+        vectorized: Optional[bool] = None,
+        band_sharding: bool = False,
         obs=None,
     ) -> None:
         from ..check.runtime import active_session
@@ -151,6 +161,8 @@ class Deployment:
             checks = session.checker
         if link_cache is None:
             link_cache = True
+        if vectorized is None:
+            vectorized = link_cache
 
         self.sim = Simulator(trace=trace, checks=checks, obs=obs)
         if trace is not None:
@@ -171,6 +183,8 @@ class Deployment:
             rng=self.rng,
             link_cache=link_cache,
             reference_accumulators=reference_accumulators,
+            vectorized=vectorized,
+            band_sharding=band_sharding,
         )
         self.networks: List[Network] = []
         self.nodes: Dict[str, Node] = {}
@@ -215,6 +229,18 @@ class Deployment:
         for network in self.networks:
             for source in network.sources:
                 source.stop()
+
+    def quiesce(self) -> None:
+        """Stop traffic and detach every CCA policy's self-scheduled timers.
+
+        After this, no component re-arms periodic events, so
+        ``sim.run_until_idle()`` terminates once in-flight frames drain —
+        required for DCN deployments, whose Case-II timer otherwise
+        re-arms forever.
+        """
+        self.stop_traffic()
+        for node in self.nodes.values():
+            node.mac.cca_policy.detach()
 
     def network(self, label: str) -> Network:
         for network in self.networks:

@@ -41,6 +41,7 @@ __all__ = [
     "one_region_topology",
     "separated_clusters_topology",
     "random_topology",
+    "scale_topology",
     "grid_topology",
     "sink_name",
 ]
@@ -278,6 +279,62 @@ def random_topology(
                 for i in range(links_per_network)
             ]
         networks.append(_build_network(index, channel, positions, rng, power))
+    return networks
+
+
+def scale_topology(
+    plan: ChannelPlan,
+    rng: np.random.Generator,
+    n_motes: int,
+    active_links_per_network: int = 1,
+    link_distance_m: float = 1.5,
+    area_m2_per_mote: float = 20.0,
+    power: Optional[PowerAssignment] = None,
+) -> List[NetworkSpec]:
+    """Synthetic dense scene for kernel benchmarking and profiling.
+
+    ``n_motes`` motes are split evenly over the plan's channels and paired
+    into links scattered uniformly over a square whose area grows with the
+    mote count (constant spatial density, ``area_m2_per_mote`` each), so a
+    10x bigger scene stresses the fan-out path 10x harder instead of just
+    packing the same room tighter.  Only the first
+    ``active_links_per_network`` pairs per network carry traffic; the rest
+    are idle listeners that still populate every transmitter's audible set
+    — exactly the population the vectorized medium batch-evaluates.
+
+    This is *not* a paper configuration: it exists so ``perf profile
+    --scene N`` and the ``fanout_1k``/``mini_run_5k`` benches can build an
+    arbitrarily large world in one call.
+    """
+    if n_motes < 2 * len(plan.centers_mhz):
+        raise ValueError(
+            f"need at least {2 * len(plan.centers_mhz)} motes "
+            f"(2 per channel), got {n_motes}"
+        )
+    power = power if power is not None else fixed_power(0.0)
+    channels = plan.centers_mhz
+    pairs_per_network = n_motes // (2 * len(channels))
+    side_m = math.sqrt(n_motes * area_m2_per_mote)
+    networks: List[NetworkSpec] = []
+    for index, channel in enumerate(channels):
+        label = f"N{index}"
+        nodes: List[NodeSpec] = []
+        links: List[LinkSpec] = []
+        for li in range(pairs_per_network):
+            center = (
+                float(rng.uniform(0.0, side_m)),
+                float(rng.uniform(0.0, side_m)),
+            )
+            sender_pos, receiver_pos = _place_link(
+                rng, center, 0.5, link_distance_m
+            )
+            sender = f"{label}.s{li}"
+            receiver = f"{label}.r{li}"
+            nodes.append(NodeSpec(sender, sender_pos, power(rng)))
+            nodes.append(NodeSpec(receiver, receiver_pos, power(rng)))
+            if li < active_links_per_network:
+                links.append(LinkSpec(sender, receiver))
+        networks.append(NetworkSpec(label, channel, tuple(nodes), tuple(links)))
     return networks
 
 

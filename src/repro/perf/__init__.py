@@ -20,11 +20,12 @@ kernel cost rather than absolute runner speed.
 """
 
 from .bench import run_bench_suite, check_against_baseline, load_baseline
-from .profiler import profile_exhibit
+from .profiler import profile_exhibit, profile_scene
 
 __all__ = [
     "run_bench_suite",
     "check_against_baseline",
     "load_baseline",
     "profile_exhibit",
+    "profile_scene",
 ]

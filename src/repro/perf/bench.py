@@ -6,6 +6,8 @@ The suite times the hot paths the PR-2 performance layer optimised:
 - ``event_cancel_churn``— heavy cancellation (exercises heap compaction);
 - ``medium_fanout``     — one transmitter fanning frames to 30 receivers
   through the :class:`~repro.phy.medium.LinkGainCache`;
+- ``fanout_1k``         — the same rig at 1000 receivers: the regime the
+  struct-of-arrays :mod:`repro.phy.vectorized` path is built for;
 - ``cca_probe``         — the O(1) incremental sensing-path probe;
 - ``cca_probe_brute``   — the pre-optimisation O(n·mask) re-summation,
   kept as the honest "before" reference (also used by the accumulator
@@ -18,6 +20,10 @@ The suite times the hot paths the PR-2 performance layer optimised:
 - ``routing_mini_run``  — a 3×3 grid running the full routing stack
   (HELLO discovery, tree join, convergecast forwarding), costed per
   delivered end-to-end report;
+- ``mini_run_5k``       — a 5000-mote synthetic scene (16 channels, one
+  saturated link each) run for 20 ms of sim time, costed per sent
+  frame; the scale tier the vectorized fan-out targets (skipped in
+  ``--quick`` mode);
 - ``fig19_fast``        — an end-to-end representative exhibit (skipped
   in ``--quick`` mode).
 
@@ -167,16 +173,36 @@ def _fanout_rig(n_receivers: int = 30):
     return sim, tx
 
 
-def _bench_medium_fanout(frames: int) -> Dict[str, Any]:
+def _bench_medium_fanout(frames: int, n_receivers: int = 30) -> Dict[str, Any]:
     from ..phy.frame import Frame
 
-    sim, tx = _fanout_rig()
+    sim, tx = _fanout_rig(n_receivers)
     t0 = time.perf_counter()
     for _ in range(frames):
         frame = Frame("tx", None, 60)
         tx.transmit(frame, lambda t: None)
         sim.run(sim.now + frame.airtime_s + 1e-6)
     wall = time.perf_counter() - t0
+    return {"wall_s": wall, "n": frames, "per_op_us": wall / frames * 1e6}
+
+
+def _bench_mini_run_5k(sim_s: float = 0.02) -> Dict[str, Any]:
+    """A 5000-mote scene for ``sim_s`` of simulated time, per sent frame.
+
+    The spatial density (400 m² per mote) keeps audible sets in the
+    ~1500-radio range — bounded by radio range, as in a real city-scale
+    deployment — so the cost scales with audible-set size, not with the
+    global mote count.
+    """
+    from ..experiments.scenarios import large_scene
+
+    deployment = large_scene(5000, seed=1, area_m2_per_mote=400.0)
+    deployment.start_traffic()
+    t0 = time.perf_counter()
+    deployment.sim.run(sim_s)
+    wall = time.perf_counter() - t0
+    frames = sum(node.mac.stats.sent for node in deployment.nodes.values())
+    assert frames > 0
     return {"wall_s": wall, "n": frames, "per_op_us": wall / frames * 1e6}
 
 
@@ -327,6 +353,8 @@ def run_bench_suite(quick: bool = False, verbose: bool = True) -> Dict[str, Any]
         ("event_queue", lambda: _bench_event_queue(200_000)),
         ("event_cancel_churn", lambda: _bench_event_cancel_churn(100_000)),
         ("medium_fanout", lambda: _bench_medium_fanout(400)),
+        # The scale regime: same rig, 1000 receivers per frame.
+        ("fanout_1k", lambda: _bench_medium_fanout(40, n_receivers=1000)),
         ("cca_probe_brute", lambda: _bench_cca_probe(100_000, brute=True)),
         ("cca_probe", lambda: _bench_cca_probe(200_000, brute=False)),
         # Telemetry guard cost: obs_off is what every ordinary run pays
@@ -339,8 +367,9 @@ def run_bench_suite(quick: bool = False, verbose: bool = True) -> Dict[str, Any]
     ]
     plan = [(name, lambda fn=fn: _best_of(fn)) for name, fn in plan]
     if not quick:
-        # End-to-end exhibit: one round (it is seconds, not microseconds,
-        # and per-op jitter averages out over the run itself).
+        # Multi-second benches: one round each (per-op jitter averages
+        # out over the run itself).
+        plan.append(("mini_run_5k", _bench_mini_run_5k))
         plan.append(("fig19_fast", _bench_fig19_fast))
 
     doc: Dict[str, Any] = {

@@ -4,10 +4,14 @@ Keeps the "where does the time go" loop to a single command::
 
     python -m repro perf profile fig19 --fast --top 20
     python -m repro perf profile fig04 --sort cumtime --out fig04.pstats
+    python -m repro perf profile --scene 5000 --sim-s 0.02
 
 The profile is printed as the top-N hotspots by ``tottime`` (default) or
 ``cumtime``; ``--out`` additionally dumps the raw stats for ``snakeviz``
-or ``pstats`` post-processing.
+or ``pstats`` post-processing.  ``--scene N`` profiles a synthetic
+``N``-mote dense deployment (:func:`repro.experiments.scenarios.
+large_scene`) instead of a registered exhibit, so profiling the fan-out
+path at scale doesn't require hand-writing a world.
 """
 
 from __future__ import annotations
@@ -15,9 +19,9 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
-from typing import Optional
+from typing import Callable, Optional
 
-__all__ = ["profile_exhibit"]
+__all__ = ["profile_exhibit", "profile_scene"]
 
 _SORT_KEYS = {"tottime", "cumtime", "ncalls"}
 
@@ -37,13 +41,48 @@ def profile_exhibit(
     """
     from ..experiments.registry import get
 
+    experiment = get(exhibit_id)
+    return _profile(
+        lambda: experiment.run(seed=seed, fast=fast), top=top, sort=sort, out=out
+    )
+
+
+def profile_scene(
+    n_motes: int,
+    sim_s: float = 0.02,
+    seed: int = 1,
+    top: int = 20,
+    sort: str = "tottime",
+    out: Optional[str] = None,
+) -> str:
+    """Profile ``sim_s`` seconds of a synthetic ``n_motes``-mote scene.
+
+    Builds :func:`~repro.experiments.scenarios.large_scene` (one saturated
+    link per channel, everyone else an idle listener) *outside* the
+    profile window, then profiles only the run — so the hotspot table
+    shows the steady-state fan-out/dispatch cost, not world construction.
+    """
+    from ..experiments.scenarios import large_scene
+
+    deployment = large_scene(n_motes, seed=seed)
+    deployment.start_traffic()
+    return _profile(
+        lambda: deployment.sim.run(sim_s), top=top, sort=sort, out=out
+    )
+
+
+def _profile(
+    workload: Callable[[], object],
+    top: int,
+    sort: str,
+    out: Optional[str],
+) -> str:
     if sort not in _SORT_KEYS:
         raise ValueError(f"sort must be one of {sorted(_SORT_KEYS)}, got {sort!r}")
-    experiment = get(exhibit_id)
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        experiment.run(seed=seed, fast=fast)
+        workload()
     finally:
         profiler.disable()
     if out:

@@ -20,9 +20,14 @@ from .frame import Frame
 __all__ = ["FrameReception", "ErrorStats"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class FrameReception:
     """The outcome of one attempted frame reception at one radio.
+
+    Treated as immutable by convention (one is built per finished
+    reception on the kernel hot path; ``frozen=True``'s per-field
+    ``object.__setattr__`` construction cost is measurable there, so the
+    dataclass is slotted and compared by identity instead).
 
     Attributes
     ----------

@@ -66,7 +66,7 @@ PRIORITY_SIGNAL_END = 0
 PRIORITY_SIGNAL_START = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """One frame on the air, as seen by the transmitter."""
 
@@ -134,20 +134,56 @@ class LinkGainCache:
 
     Built lazily: the audible set for a ``(source, tx_power)`` pair is
     computed on its first transmission and reused for every subsequent
-    frame.  Registering a new radio invalidates all audible sets (the new
-    radio may be audible to existing sources); moving a radio requires an
-    explicit :meth:`invalidate` (positions are assumed static).
+    frame.  Registering a new radio updates every cached audible set
+    *incrementally* (:meth:`register_radio` — the newcomer is appended
+    wherever it is audible, exactly where a full rebuild would place it);
+    moving a radio requires an explicit :meth:`invalidate` (positions are
+    assumed static).
     """
 
-    __slots__ = ("_medium", "_audible")
+    __slots__ = ("_medium", "_audible", "_sources")
 
     def __init__(self, medium: "Medium") -> None:
         self._medium = medium
         self._audible: Dict[Tuple[int, float], List[AudibleEntry]] = {}
+        #: id(source) -> source, so cached keys can be resolved back to
+        #: radios during incremental registration.  Holding the reference
+        #: also guarantees the id is never recycled while cached.
+        self._sources: Dict[int, "Radio"] = {}
 
     def invalidate(self) -> None:
         """Drop every cached audible set (e.g. after a position change)."""
         self._audible.clear()
+        self._sources.clear()
+
+    def register_radio(self, radio: "Radio") -> None:
+        """Incrementally fold a newly registered radio into cached sets.
+
+        A full rebuild iterates ``medium._radios`` in registration order,
+        so the newcomer — last in that order — would land at the end of
+        every audible list it belongs to.  Appending it there (with the
+        mean RSS from the same scalar model call) is therefore
+        bit-identical to invalidating and rebuilding, at O(cached keys)
+        cost instead of O(cached keys x radios).
+        """
+        if not self._audible:
+            return
+        medium = self._medium
+        path_loss = medium.path_loss
+        floor = medium.delivery_floor_dbm
+        headroom = medium.fading.max_gain_db()
+        for (source_id, tx_power_dbm), entries in self._audible.items():
+            source = self._sources[source_id]
+            if radio is source:
+                continue
+            mean_rss = path_loss.received_power_dbm(
+                tx_power_dbm, source.position, radio.position
+            )
+            if mean_rss + headroom < floor:
+                continue
+            entries.append(
+                (radio, mean_rss, medium.link_fading_stream(source, radio))
+            )
 
     def audible_entries(self, source: "Radio", tx_power_dbm: float) -> List[AudibleEntry]:
         """Receivers that can possibly hear ``source`` at ``tx_power_dbm``."""
@@ -156,6 +192,7 @@ class LinkGainCache:
         if entries is None:
             entries = self._build(source, tx_power_dbm)
             self._audible[key] = entries
+            self._sources[id(source)] = source
         return entries
 
     def _build(self, source: "Radio", tx_power_dbm: float) -> List[AudibleEntry]:
@@ -207,6 +244,21 @@ class Medium:
         accumulators.  Together with ``link_cache=False`` this is the
         complete reference path the differential oracle
         (``python -m repro check diff``) runs against.
+    vectorized:
+        When ``True`` (the default) the link cache is the struct-of-arrays
+        :class:`~repro.phy.vectorized.VectorizedLinkCache`: audible sets
+        build through one batched path-loss call and fan-out draws all
+        fading samples per transmission in one batch.  Bit-identical to
+        the scalar cache (gated by ``repro check diff``); requires
+        ``link_cache=True``.  See DESIGN.md §13.
+    band_sharding:
+        Opt-in approximation on top of the vectorized path: receivers
+        whose best-case *post-mask* power at the transmission channel
+        falls below ``delivery_floor_dbm`` are skipped entirely, so
+        far-apart frequency bands never interact.  Sub-floor accumulator
+        contributions (>=60 dB under the noise floor) are dropped, which
+        is not guaranteed bit-exact for every workload — hence off by
+        default.  Requires ``vectorized=True``.
     """
 
     def __init__(
@@ -218,6 +270,8 @@ class Medium:
         delivery_floor_dbm: float = -115.0,
         link_cache: bool = True,
         reference_accumulators: bool = False,
+        vectorized: bool = True,
+        band_sharding: bool = False,
     ) -> None:
         self.sim = sim
         self.path_loss = path_loss
@@ -228,9 +282,21 @@ class Medium:
         self._radios: List["Radio"] = []
         self._radio_ids: set = set()
         self._radios_snapshot: Optional[Tuple["Radio", ...]] = None
-        self._gain_cache: Optional[LinkGainCache] = (
-            LinkGainCache(self) if link_cache else None
-        )
+        if link_cache and vectorized:
+            from .vectorized import VectorizedLinkCache
+
+            self._gain_cache: Optional[LinkGainCache] = VectorizedLinkCache(self)
+            self._vec_cache = self._gain_cache
+        else:
+            self._gain_cache = LinkGainCache(self) if link_cache else None
+            self._vec_cache = None
+        self.vectorized = self._vec_cache is not None
+        if band_sharding and not self.vectorized:
+            raise ValueError(
+                "band_sharding requires the vectorized link cache "
+                "(vectorized=True, link_cache=True)"
+            )
+        self.band_sharding = bool(band_sharding)
         self._link_streams: Dict[Tuple[int, int], "np.random.Generator"] = {}
 
     # ------------------------------------------------------------------
@@ -242,8 +308,10 @@ class Medium:
         self._radios.append(radio)
         self._radios_snapshot = None
         if self._gain_cache is not None:
-            # The new radio may be audible to already-cached sources.
-            self._gain_cache.invalidate()
+            # The new radio may be audible to already-cached sources:
+            # fold it into each cached set in place (bit-identical to a
+            # full rebuild, see LinkGainCache.register_radio).
+            self._gain_cache.register_radio(radio)
 
     @property
     def radios(self) -> Tuple["Radio", ...]:
@@ -334,13 +402,37 @@ class Medium:
         floor = self.delivery_floor_dbm
         fading = self.fading
         delivered: List[Tuple["Radio", Signal]] = []
-        for radio, mean_rss, stream in self._audible_entries(source, tx_power_dbm):
-            rss = mean_rss + fading.sample_db(stream)
-            if rss < floor:
-                continue
-            signal = Signal(transmission, rss)
-            radio.on_signal_start(signal)
-            delivered.append((radio, signal))
+        vec = self._vec_cache
+        if vec is not None:
+            # Batched fan-out: parallel (radios, means, streams) lists and
+            # one sample_db_many call per transmission.  Draw values, draw
+            # order per stream, delivery order and float operations are
+            # identical to the scalar loop below.
+            if self.band_sharding:
+                radios, means, streams = vec.sharded_fanout_lists(
+                    source, tx_power_dbm, channel_mhz
+                )
+            else:
+                radios, means, streams = vec.fanout_lists(source, tx_power_dbm)
+            append = delivered.append
+            draws = fading.sample_db_many(streams)
+            for radio, mean_rss, draw in zip(radios, means, draws):
+                rss = mean_rss + draw
+                if rss < floor:
+                    continue
+                signal = Signal(transmission, rss)
+                radio.on_signal_start(signal)
+                append((radio, signal))
+        else:
+            for radio, mean_rss, stream in self._audible_entries(
+                source, tx_power_dbm
+            ):
+                rss = mean_rss + fading.sample_db(stream)
+                if rss < floor:
+                    continue
+                signal = Signal(transmission, rss)
+                radio.on_signal_start(signal)
+                delivered.append((radio, signal))
         if delivered:
             # One batched end event for the whole fan-out: the per-receiver
             # notifications would have been scheduled consecutively (same

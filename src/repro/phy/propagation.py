@@ -5,13 +5,28 @@ log-distance model with an indoor exponent.  All models map a transmitter
 position, receiver position and transmit power to a mean received power in
 dBm; small-scale per-packet variation is layered on separately
 (:mod:`repro.phy.fading`).
+
+Batched evaluation
+------------------
+:meth:`PathLossModel.received_power_dbm_batch` evaluates one transmitter
+against an ``(n, 2)`` array of receiver positions in a single numpy call.
+The batched result agrees with the scalar method to within a few ulp but
+is **not guaranteed bit-identical** — numpy's SIMD transcendentals
+(``log10``/``hypot``) may round differently from libm.  The vectorized
+medium therefore uses batched values only for conservative *candidate
+preselection* (with a guard band far wider than any SIMD rounding
+difference) and always re-derives the exact link budget through the
+scalar method; see DESIGN.md §13.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
 
 __all__ = [
     "Position",
@@ -38,6 +53,25 @@ class PathLossModel:
     ) -> float:
         raise NotImplementedError
 
+    def received_power_dbm_batch(
+        self, tx_power_dbm: float, tx_pos: Position, rx_xy: "np.ndarray"
+    ) -> "np.ndarray":
+        """Mean received power at every row of ``rx_xy`` (shape ``(n, 2)``).
+
+        The base implementation loops over the scalar method (bit-identical
+        by construction); models with closed-form losses override it with a
+        single numpy evaluation that may differ from the scalar path by a
+        few ulp (see module docstring).
+        """
+        import numpy as np
+
+        out = np.empty(len(rx_xy))
+        for i, row in enumerate(rx_xy):
+            out[i] = self.received_power_dbm(
+                tx_power_dbm, tx_pos, (row[0], row[1])
+            )
+        return out
+
     def path_loss_db(self, tx_pos: Position, rx_pos: Position) -> float:
         """Loss in dB between the two positions."""
         return -self.received_power_dbm(0.0, tx_pos, rx_pos)
@@ -56,6 +90,18 @@ class FreeSpacePathLoss(PathLossModel):
     ) -> float:
         d = max(distance(tx_pos, rx_pos), self.min_distance_m)
         loss = self.reference_loss_db + 20.0 * math.log10(
+            d / self.reference_distance_m
+        )
+        return tx_power_dbm - loss
+
+    def received_power_dbm_batch(
+        self, tx_power_dbm: float, tx_pos: Position, rx_xy: "np.ndarray"
+    ) -> "np.ndarray":
+        import numpy as np
+
+        d = np.hypot(rx_xy[:, 0] - tx_pos[0], rx_xy[:, 1] - tx_pos[1])
+        np.maximum(d, self.min_distance_m, out=d)
+        loss = self.reference_loss_db + 20.0 * np.log10(
             d / self.reference_distance_m
         )
         return tx_power_dbm - loss
@@ -79,6 +125,18 @@ class LogDistancePathLoss(PathLossModel):
     ) -> float:
         d = max(distance(tx_pos, rx_pos), self.min_distance_m)
         loss = self.reference_loss_db + 10.0 * self.exponent * math.log10(
+            d / self.reference_distance_m
+        )
+        return tx_power_dbm - loss
+
+    def received_power_dbm_batch(
+        self, tx_power_dbm: float, tx_pos: Position, rx_xy: "np.ndarray"
+    ) -> "np.ndarray":
+        import numpy as np
+
+        d = np.hypot(rx_xy[:, 0] - tx_pos[0], rx_xy[:, 1] - tx_pos[1])
+        np.maximum(d, self.min_distance_m, out=d)
+        loss = self.reference_loss_db + (10.0 * self.exponent) * np.log10(
             d / self.reference_distance_m
         )
         return tx_power_dbm - loss
@@ -121,3 +179,19 @@ class FixedRssMatrix(PathLossModel):
             (tuple(tx_pos), tuple(rx_pos)), self.default_loss_db
         )
         return tx_power_dbm - loss
+
+    def received_power_dbm_batch(
+        self, tx_power_dbm: float, tx_pos: Position, rx_xy: "np.ndarray"
+    ) -> "np.ndarray":
+        # Exact: dict lookups, no floating-point evaluation at all.
+        import numpy as np
+
+        losses = self._losses
+        default = self.default_loss_db
+        key = tuple(tx_pos)
+        out = np.empty(len(rx_xy))
+        for i, row in enumerate(rx_xy):
+            out[i] = tx_power_dbm - losses.get(
+                (key, (row[0], row[1])), default
+            )
+        return out

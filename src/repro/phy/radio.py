@@ -25,12 +25,13 @@ from __future__ import annotations
 
 import enum
 from collections import deque
+from math import log10 as _log10
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..sim.rng import RngStreams
 from ..sim.simulator import Simulator
-from ..sim.units import dbm_to_mw, linear_to_db, mw_to_dbm
+from ..sim.units import dbm_to_mw, mw_to_dbm
 from .constants import NOISE_FLOOR_DBM, RSSI_AVG_WINDOW_S, RX_SENSITIVITY_DBM
 from .energy import EnergyAccumulator
 from .errors import FrameReception
@@ -97,6 +98,12 @@ class Radio:
         #: more sharply than the demodulator's interference coupling.
         self.cca_mask = cca_mask if cca_mask is not None else default_cca_mask(self.mask)
         self.config = config if config is not None else RadioConfig()
+        #: Hot-path copies of the (frozen) config scalars: the lock
+        #: decision tree reads them once per delivered signal, where the
+        #: dataclass attribute indirection is measurable.
+        self._sensitivity_dbm = self.config.sensitivity_dbm
+        self._capture_threshold_db = self.config.capture_threshold_db
+        self._co_channel_tolerance_mhz = self.config.co_channel_tolerance_mhz
         rng_streams = rng if rng is not None else medium.rng
         self._bit_rng = rng_streams.stream(f"biterrors.{name}")
         self.state = RadioState.IDLE
@@ -126,6 +133,9 @@ class Radio:
         #: incremental sum — the pre-PR-2 algorithm, kept live for the
         #: differential oracle (``python -m repro check diff``).
         self._reference_accumulators = medium.reference_accumulators
+        #: The sim's trace sink is fixed at construction; caching the
+        #: object saves two attribute hops per delivered signal.
+        self._trace = sim.trace
         medium.register(self)
         if sim.obs is not None:
             sim.obs.register_radio(self)
@@ -137,7 +147,7 @@ class Radio:
         self._frame_listeners.append(listener)
 
     def _dispatch_reception(self, outcome: FrameReception) -> None:
-        if self.sim.trace.enabled:
+        if self._trace.enabled:
             self.sim.trace.emit(
                 "rx_done",
                 radio=self.name,
@@ -168,15 +178,19 @@ class Radio:
         """Start tracking ``signal``: cache its post-mask contributions,
         fold them into the running sensing-path sum (O(1)) and step the
         RSSI-register history."""
-        decode_gain, sense_gain = self._gains_for(signal.channel_mhz)
-        signal.decode_mw = signal.rx_power_mw * decode_gain
-        signal.sense_mw = signal.rx_power_mw * sense_gain
+        gains = self._gain_memo.get(signal.channel_mhz)
+        if gains is None:
+            gains = self._gains_for(signal.channel_mhz)
+        rx_power_mw = signal.rx_power_mw
+        signal.decode_mw = rx_power_mw * gains[0]
+        sense_mw = rx_power_mw * gains[1]
+        signal.sense_mw = sense_mw
         self.active_signals.append(signal)
-        self._sense_sum_mw += signal.sense_mw
-        self._sense_history.append(
-            (self.sim.now, self._noise_mw + self._sense_sum_mw)
-        )
-        checks = self.sim.checks
+        sense_sum = self._sense_sum_mw + sense_mw
+        self._sense_sum_mw = sense_sum
+        sim = self.sim
+        self._sense_history.append((sim.now, self._noise_mw + sense_sum))
+        checks = sim.checks
         if checks is not None:
             checks.on_accumulator_update(self)
 
@@ -188,19 +202,18 @@ class Radio:
         running sum *exactly* equal to a fresh brute-force re-summation —
         no incremental subtraction, hence no cancellation drift.
         """
-        self.active_signals.remove(signal)
         signals = self.active_signals
+        signals.remove(signal)
         if signals:
             total = 0.0
             for s in signals:
                 total += s.sense_mw
             self._sense_sum_mw = total
         else:
-            self._sense_sum_mw = 0.0
-        self._sense_history.append(
-            (self.sim.now, self._noise_mw + self._sense_sum_mw)
-        )
-        checks = self.sim.checks
+            self._sense_sum_mw = total = 0.0
+        sim = self.sim
+        self._sense_history.append((sim.now, self._noise_mw + total))
+        checks = sim.checks
         if checks is not None:
             checks.on_accumulator_update(self)
 
@@ -365,21 +378,23 @@ class Radio:
     # Medium callbacks
     # ------------------------------------------------------------------
     def on_signal_start(self, signal: Signal) -> None:
-        if self.current_reception is not None:
+        reception = self.current_reception
+        if reception is not None:
             # Close the elapsed segment under the *old* interference set
             # before the new signal starts counting.
-            self.current_reception.on_interference_change()
+            reception.on_interference_change()
             self._add_signal(signal)
             return
         self._add_signal(signal)
         if self.state is not RadioState.IDLE:
             return
-        if not self._is_co_channel(signal):
+        offset = signal.channel_mhz - self.channel_mhz
+        if (offset if offset >= 0.0 else -offset) > self._co_channel_tolerance_mhz:
             return
-        if signal.rx_power_dbm < self.config.sensitivity_dbm:
+        if signal.rx_power_dbm < self._sensitivity_dbm:
             return
-        if self._lock_sinr_db(signal) < self.config.capture_threshold_db:
-            if self.sim.trace.enabled:
+        if self._lock_sinr_db(signal) < self._capture_threshold_db:
+            if self._trace.enabled:
                 self.sim.trace.emit(
                     "preamble_missed",
                     radio=self.name,
@@ -388,32 +403,32 @@ class Radio:
                 )
             return
         self.current_reception = Reception(self, signal, self._bit_rng)
-        if self.sim.trace.enabled:
+        if self._trace.enabled:
             self.sim.trace.emit(
                 "rx_lock", radio=self.name, frame=signal.frame.frame_id
             )
 
     def on_signal_end(self, signal: Signal) -> None:
         reception = self.current_reception
-        locked_on_this = reception is not None and reception.signal is signal
-        if locked_on_this:
-            # Close the final segment while the signal still counts as
-            # "active minus itself" — remove it afterwards.
-            outcome = reception.finalize()
-            self.current_reception = None
-            self._remove_signal(signal)
-            obs = self.sim.obs
-            if obs is not None:
-                obs.on_rx(
-                    self.name, reception.start_time, self.sim.now,
-                    outcome.frame.frame_id, outcome.crc_ok, outcome.rssi_dbm,
-                )
-            self._dispatch_reception(outcome)
-            return
-        if self.current_reception is not None:
+        if reception is not None:
+            if reception.signal is signal:
+                # Close the final segment while the signal still counts as
+                # "active minus itself" — remove it afterwards.
+                outcome = reception.finalize()
+                self.current_reception = None
+                self._remove_signal(signal)
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.on_rx(
+                        self.name, reception.start_time, self.sim.now,
+                        outcome.frame.frame_id, outcome.crc_ok,
+                        outcome.rssi_dbm,
+                    )
+                self._dispatch_reception(outcome)
+                return
             # Close the elapsed segment while the ending signal still
             # counts as interference.
-            self.current_reception.on_interference_change()
+            reception.on_interference_change()
         self._remove_signal(signal)
 
     # ------------------------------------------------------------------
@@ -424,10 +439,23 @@ class Radio:
         return offset <= self.config.co_channel_tolerance_mhz
 
     def _lock_sinr_db(self, signal: Signal) -> float:
-        interference_mw = self.in_channel_power_mw(exclude=signal)
+        # Fast path: at lock time the candidate signal is already in the
+        # active list, so a singleton list means the excluded loop would
+        # contribute nothing — the interference term is exactly the noise
+        # floor (bit-identical to the general path).
+        active = self.active_signals
+        if (
+            len(active) == 1
+            and active[0] is signal
+            and not self._reference_accumulators
+        ):
+            interference_mw = self._noise_mw
+        else:
+            interference_mw = self.in_channel_power_mw(exclude=signal)
         if interference_mw <= 0.0:
             return 100.0
-        return linear_to_db(signal.rx_power_mw / interference_mw)
+        # Inlined linear_to_db (same expression, bit for bit): hot.
+        return 10.0 * _log10(signal.rx_power_mw / interference_mw)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

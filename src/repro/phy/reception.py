@@ -12,11 +12,11 @@ packet-recovery analysis.
 
 from __future__ import annotations
 
+from math import log10 as _log10
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from ..sim.units import linear_to_db
 from .constants import BIT_RATE_BPS
 from .errors import FrameReception
 from .medium import Signal
@@ -32,6 +32,19 @@ BerModel = Callable[[float], float]
 
 class Reception:
     """Tracks one locked frame at one radio until it completes or aborts."""
+
+    __slots__ = (
+        "radio",
+        "signal",
+        "rng",
+        "ber_model",
+        "bit_rate_bps",
+        "start_time",
+        "errored_bits",
+        "sampled_bits",
+        "_segment_start",
+        "_finished",
+    )
 
     def __init__(
         self,
@@ -59,20 +72,24 @@ class Reception:
 
     def finalize(self) -> FrameReception:
         """The locked signal ended normally: produce the outcome."""
-        now = self.radio.sim.now
+        radio = self.radio
+        now = radio.sim.now
         self._close_segment(now)
         self._finished = True
-        frame = self.signal.frame
+        signal = self.signal
+        errored_bits = self.errored_bits
+        # Positional field order: frame, rssi_dbm, crc_ok, errored_bits,
+        # total_bits, start_time, end_time (kwargs cost on a hot ctor).
         outcome = FrameReception(
-            frame=frame,
-            rssi_dbm=self.signal.rx_power_dbm,
-            crc_ok=(self.errored_bits == 0),
-            errored_bits=self.errored_bits,
-            total_bits=self.sampled_bits,
-            start_time=self.start_time,
-            end_time=now,
+            signal.transmission.frame,
+            signal.rx_power_dbm,
+            errored_bits == 0,
+            errored_bits,
+            self.sampled_bits,
+            self.start_time,
+            now,
         )
-        checks = self.radio.sim.checks
+        checks = radio.sim.checks
         if checks is not None:
             # Bit conservation: a completed frame must have sampled
             # exactly round(airtime * bit_rate) bits.
@@ -87,9 +104,9 @@ class Reception:
     def _close_segment(self, now: float) -> None:
         if self._finished:
             return
-        duration = now - self._segment_start
+        segment_start = self._segment_start
         self._segment_start = now
-        if duration <= 0.0:
+        if now <= segment_start:
             return
         # Account bits against the *frame timeline*, not per segment:
         # rounding each segment independently lets fractional bits drift
@@ -98,19 +115,34 @@ class Reception:
         # exactly the bits between the rounded cumulative elapsed-bit
         # counts, so the sampled total of a completed frame always equals
         # round(airtime * bit_rate) — the frame's true on-air bit length.
-        elapsed = now - self.start_time
-        cumulative_bits = int(round(elapsed * self.bit_rate_bps))
+        # round() on a float with no ndigits already returns an int.
+        cumulative_bits = round((now - self.start_time) * self.bit_rate_bps)
         n_bits = cumulative_bits - self.sampled_bits
         if n_bits <= 0:
             return
-        sinr_db = self._current_sinr_db()
-        ber = self.ber_model(sinr_db)
+        ber = self.ber_model(self._current_sinr_db())
         self.sampled_bits = cumulative_bits
         if ber > 0.0:
             self.errored_bits += int(self.rng.binomial(n_bits, min(ber, 1.0)))
 
     def _current_sinr_db(self) -> float:
-        interference_mw = self.radio.in_channel_power_mw(exclude=self.signal)
+        radio = self.radio
+        signal = self.signal
+        # Fast path: the locked signal is always active during reception,
+        # so a singleton active list means it *is* the excluded signal and
+        # the interference term is exactly the noise floor (the loop in
+        # in_channel_power_mw would add nothing) — bit-identical, minus
+        # the call and loop overhead on the hottest per-segment probe.
+        active = radio.active_signals
+        if (
+            len(active) == 1
+            and active[0] is signal
+            and not radio._reference_accumulators
+        ):
+            interference_mw = radio._noise_mw
+        else:
+            interference_mw = radio.in_channel_power_mw(exclude=signal)
         if interference_mw <= 0.0:
             return 100.0
-        return linear_to_db(self.signal.rx_power_mw / interference_mw)
+        # Inlined linear_to_db (same expression, bit for bit): hot.
+        return 10.0 * _log10(signal.rx_power_mw / interference_mw)

@@ -1,0 +1,236 @@
+"""Struct-of-arrays batched fanout: the vectorized medium kernel.
+
+The scalar :class:`~repro.phy.medium.LinkGainCache` builds each audible set
+with one Python-level path-loss call per registered radio — O(n) model
+dispatches per ``(source, tx power)`` pair, which dominates start-up cost
+for 10k-node scenes.  This module keeps a contiguous numpy mirror of the
+radio registry (:class:`RadioArrays`) and evaluates the mean link budget
+for the *whole* registry in one batched call, then confirms the survivors
+through the scalar model so cached values stay bit-identical to the scalar
+cache (see DESIGN.md §13 for the full exactness argument).
+
+Exactness
+---------
+Batched transcendentals (``np.log10``/``np.hypot``) may differ from libm by
+a few ulp, so batch results are used **only to preselect candidates** with
+a guard band (:data:`PRESELECT_GUARD_DB`) nine orders of magnitude wider
+than any SIMD rounding difference; every cached ``mean_rss`` is re-derived
+through ``received_power_dbm`` (the scalar path).  A radio kept by the
+scalar cull condition ``mean + headroom >= floor`` therefore can never be
+dropped by the preselection ``approx + headroom >= floor - guard``.
+
+Band sharding (opt-in)
+----------------------
+``Medium(band_sharding=True)`` additionally drops fanout entries whose
+*best-case post-mask* power cannot reach the delivery floor at the
+transmission's channel::
+
+    mean_rss + max_fading_gain - min(decode_leakage, sense_leakage) < floor
+
+i.e. radios in frequency bands whose cross-band leakage falls below
+``delivery_floor_dbm`` never see the signal at all.  Unlike the audible-set
+cull this is an **approximation**: a delivered sub-floor signal still
+contributes ~10^-18 mW to the receiver's power accumulators, and skipping
+it perturbs those sums in the last few bits.  No CCA or SINR decision can
+realistically flip (the dropped contribution sits >=60 dB under the noise
+floor), and the property tests pin trace-identity on representative
+scenes, but bit-exactness across *all* workloads is not guaranteed —
+which is why sharding is not the default.  Co-channel links are never
+dropped (zero leakage), so frame delivery itself is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from .medium import AudibleEntry, LinkGainCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .radio import Radio
+
+__all__ = ["RadioArrays", "VectorizedLinkCache", "PRESELECT_GUARD_DB"]
+
+#: Guard band (dB) subtracted from the cull floor during batched
+#: preselection.  SIMD-vs-libm rounding differences are a few ulp
+#: (~1e-13 dB at typical RSS magnitudes); 1e-6 dB leaves nine orders of
+#: magnitude of margin while culling everything meaningfully inaudible.
+PRESELECT_GUARD_DB = 1e-6
+
+#: Parallel fanout lists: (receivers, mean RSS values, fading streams).
+FanoutLists = Tuple[List["Radio"], List[float], List[object]]
+
+
+class RadioArrays:
+    """Contiguous struct-of-arrays mirror of a medium's radio registry.
+
+    Holds positions and centre frequencies in flat float64 arrays (grown
+    amortised-O(1)) alongside the radio objects in registration order, so
+    batched kernels can run over the whole registry without touching
+    per-object Python attributes.
+    """
+
+    __slots__ = ("radios", "_xy", "_channels", "_count")
+
+    def __init__(self) -> None:
+        self.radios: List["Radio"] = []
+        self._xy = np.empty((16, 2))
+        self._channels = np.empty(16)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def xy(self) -> np.ndarray:
+        """Positions, shape ``(n, 2)`` (a view; do not mutate)."""
+        return self._xy[: self._count]
+
+    @property
+    def channels_mhz(self) -> np.ndarray:
+        """Centre frequencies, shape ``(n,)`` (a view; do not mutate)."""
+        return self._channels[: self._count]
+
+    def append(self, radio: "Radio") -> None:
+        n = self._count
+        if n == len(self._xy):
+            self._xy = np.resize(self._xy, (2 * n, 2))
+            self._channels = np.resize(self._channels, 2 * n)
+        self._xy[n, 0] = radio.position[0]
+        self._xy[n, 1] = radio.position[1]
+        self._channels[n] = radio.channel_mhz
+        self.radios.append(radio)
+        self._count = n + 1
+
+    def refresh(self) -> None:
+        """Re-copy positions/channels from the radio objects.
+
+        Called on cache invalidation so explicit position changes (the one
+        sanctioned mutation, via ``Medium.invalidate_link_cache``) are
+        reflected in the arrays."""
+        xy = self._xy
+        channels = self._channels
+        for i, radio in enumerate(self.radios):
+            xy[i, 0] = radio.position[0]
+            xy[i, 1] = radio.position[1]
+            channels[i] = radio.channel_mhz
+
+
+class VectorizedLinkCache(LinkGainCache):
+    """A :class:`LinkGainCache` whose audible sets build in one batch.
+
+    Drop-in compatible (``audible_entries`` returns the identical entry
+    list, bit for bit) and additionally serves the fanout hot path with
+    parallel lists so ``Medium.begin_transmission`` can draw all fading
+    samples per transmission through one ``sample_db_many`` call.
+    """
+
+    __slots__ = ("arrays", "_lists", "_sharded")
+
+    def __init__(self, medium) -> None:
+        super().__init__(medium)
+        self.arrays = RadioArrays()
+        #: key -> (radios, mean_rss, streams) parallel lists.
+        self._lists: Dict[Tuple[int, float], FanoutLists] = {}
+        #: (key..., channel) -> band-shard filtered parallel lists.
+        self._sharded: Dict[Tuple[int, float, float], FanoutLists] = {}
+
+    # -- registry maintenance ------------------------------------------
+    def register_radio(self, radio: "Radio") -> None:
+        self.arrays.append(radio)
+        super().register_radio(radio)
+        # Derived lists are rebuilt lazily from the (updated) entry lists;
+        # no model calls involved.
+        self._lists.clear()
+        self._sharded.clear()
+
+    def invalidate(self) -> None:
+        super().invalidate()
+        self._lists.clear()
+        self._sharded.clear()
+        self.arrays.refresh()
+
+    # -- batched build --------------------------------------------------
+    def _build(self, source: "Radio", tx_power_dbm: float) -> List[AudibleEntry]:
+        medium = self._medium
+        headroom = medium.fading.max_gain_db()
+        arrays = self.arrays
+        n = len(arrays)
+        if n == 0 or headroom == float("inf"):
+            # Unbounded fading disables culling: every radio is audible and
+            # the scalar build already does the minimal work.
+            return super()._build(source, tx_power_dbm)
+        path_loss = medium.path_loss
+        floor = medium.delivery_floor_dbm
+        approx = path_loss.received_power_dbm_batch(
+            tx_power_dbm, source.position, arrays.xy
+        )
+        candidates = np.nonzero(
+            approx >= (floor - headroom) - PRESELECT_GUARD_DB
+        )[0]
+        radios = arrays.radios
+        link_fading_stream = medium.link_fading_stream
+        entries: List[AudibleEntry] = []
+        for i in candidates:
+            radio = radios[i]
+            if radio is source:
+                continue
+            # Exact confirmation: the cached mean comes from the scalar
+            # model, so entries are bit-identical to LinkGainCache._build.
+            mean_rss = path_loss.received_power_dbm(
+                tx_power_dbm, source.position, radio.position
+            )
+            if mean_rss + headroom < floor:
+                continue
+            entries.append((radio, mean_rss, link_fading_stream(source, radio)))
+        return entries
+
+    # -- fanout hot path ------------------------------------------------
+    def fanout_lists(self, source: "Radio", tx_power_dbm: float) -> FanoutLists:
+        """Audible set as parallel ``(radios, mean_rss, streams)`` lists."""
+        key = (id(source), tx_power_dbm)
+        lists = self._lists.get(key)
+        if lists is None:
+            entries = self.audible_entries(source, tx_power_dbm)
+            if entries:
+                radios, means, streams = (list(col) for col in zip(*entries))
+            else:
+                radios, means, streams = [], [], []
+            lists = (radios, means, streams)
+            self._lists[key] = lists
+        return lists
+
+    def sharded_fanout_lists(
+        self, source: "Radio", tx_power_dbm: float, channel_mhz: float
+    ) -> FanoutLists:
+        """Fanout lists with cross-band (sub-floor post-mask) links dropped.
+
+        See the module docstring for the shard condition and its
+        approximation caveat.  Cached per transmission channel; radio
+        channels are fixed after construction (the gain memo already bakes
+        in that assumption), so no epoch tracking is needed.
+        """
+        shard_key = (id(source), tx_power_dbm, channel_mhz)
+        lists = self._sharded.get(shard_key)
+        if lists is None:
+            radios, means, streams = self.fanout_lists(source, tx_power_dbm)
+            floor = self._medium.delivery_floor_dbm
+            headroom = self._medium.fading.max_gain_db()
+            kept_r: List["Radio"] = []
+            kept_m: List[float] = []
+            kept_s: List[object] = []
+            for i, radio in enumerate(radios):
+                offset = channel_mhz - radio.channel_mhz
+                best_leakage = min(
+                    radio.mask.leakage_db(offset),
+                    radio.cca_mask.leakage_db(offset),
+                )
+                if means[i] + headroom - best_leakage < floor:
+                    continue
+                kept_r.append(radio)
+                kept_m.append(means[i])
+                kept_s.append(streams[i])
+            lists = (kept_r, kept_m, kept_s)
+            self._sharded[shard_key] = lists
+        return lists

@@ -38,7 +38,7 @@ class Event:
         Optional label used in traces and error messages.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "tag", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "tag", "_cancelled", "_fired")
 
     def __init__(
         self,
@@ -54,6 +54,7 @@ class Event:
         self.callback = callback
         self.tag = tag
         self._cancelled = False
+        self._fired = False
 
     def cancel(self) -> None:
         """Mark the event so it will be skipped when it reaches the head."""
@@ -74,7 +75,7 @@ class Event:
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._cancelled else "pending"
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
         tag = f" tag={self.tag!r}" if self.tag else ""
         return f"<Event t={self.time:.9f} prio={self.priority}{tag} {state}>"
 
@@ -117,7 +118,7 @@ class EventQueue:
         When the cancelled fraction of the heap exceeds one half, the heap
         is compacted (dead entries dropped, then re-heapified).
         """
-        if not event.cancelled:
+        if not event._cancelled and not event._fired:
             event.cancel()
             self._live -= 1
             heap_size = len(self._heap)
@@ -145,6 +146,7 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._fired = True
                 self._live -= 1
                 return event
         raise IndexError("pop from empty EventQueue")
@@ -165,6 +167,7 @@ class EventQueue:
             if head.time > until:
                 return None
             heapq.heappop(heap)
+            head._fired = True
             self._live -= 1
             return head
         return None

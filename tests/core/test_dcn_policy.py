@@ -166,6 +166,71 @@ def test_history_available_after_attach():
     assert len(history) >= 2
 
 
+def test_detach_stops_periodic_timers_and_sim_drains():
+    """Without detach the Case-II timer re-arms forever; a detached DCN
+    policy must let run_until_idle terminate."""
+    sim, macs, policies = build_world(
+        {"dcn": 2460.0, "peer_tx": 2460.0, "peer_rx": 2460.0},
+        {("peer_tx", "dcn"): 50.0, ("peer_tx", "peer_rx"): 45.0},
+        {"dcn"},
+    )
+    source = saturate(macs["peer_tx"], "peer_rx")
+    sim.run(5.0)
+    source.stop()
+    policies["dcn"].detach()
+    sim.run_until_idle(max_time=100.0)
+    # The queue really drained before the safety horizon (run_until_idle
+    # advances the clock to max_time on a successful drain, so the
+    # meaningful signal is the empty queue, not the clock).
+    assert sim.pending_events == 0
+    # Threshold remains queryable after detach.
+    assert policies["dcn"].threshold_dbm() == pytest.approx(-50.0, abs=0.5)
+
+
+def test_detach_is_idempotent_and_safe_before_attach():
+    policy = DcnCcaPolicy()
+    policy.detach()  # never attached: must be a no-op
+    sim, macs, _ = build_world({"a": 2460.0}, {}, set())
+    policy.attach(macs["a"])
+    policy.detach()
+    policy.detach()
+    sim.run_until_idle(max_time=50.0)
+    assert sim.pending_events == 0
+
+
+def test_detach_during_init_finishes_initialization():
+    sim, macs, _ = build_world({"a": 2460.0}, {}, set())
+    policy = DcnCcaPolicy(AdjustorConfig(t_init_s=10.0))
+    policy.attach(macs["a"])
+    sim.run(1.0)
+    assert policy.adjustor.initializing
+    policy.detach()
+    assert not policy.adjustor.initializing
+    sim.run_until_idle(max_time=50.0)
+    assert sim.pending_events == 0
+
+
+def test_drained_dcn_deployment_terminates():
+    """Regression: a Deployment full of DCN policies can quiesce and then
+    run_until_idle returns (PR 5 documented this as a caveat — the
+    periodic timers used to re-arm unconditionally)."""
+    from repro.net.deployment import Deployment
+    from repro.net.topology import fixed_power, one_region_topology
+    from repro.phy.spectrum import EVALUATION_BAND, ChannelPlan
+
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, 5.0)
+    rng = RngStreams(3).stream("topology")
+    specs = one_region_topology(plan, rng, power=fixed_power(0.0))
+    deployment = Deployment(
+        specs, seed=3, policy_factory=lambda label, node: DcnCcaPolicy()
+    )
+    deployment.start_traffic()
+    deployment.sim.run(2.0)
+    deployment.quiesce()
+    deployment.sim.run_until_idle(max_time=1000.0)
+    assert deployment.sim.pending_events == 0
+
+
 def test_late_attach_anchors_at_boot_time():
     """A node booting mid-run (late joiner) must behave like a t = 0 boot
     shifted by its attach time: all internal scheduling is relative, and

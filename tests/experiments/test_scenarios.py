@@ -105,3 +105,40 @@ def test_cases_use_random_powers(builder):
     powers = [n.tx_power_dbm for n in deployment.nodes.values()]
     assert all(-22.0 <= p <= 0.0 for p in powers)
     assert len(set(powers)) > 10  # genuinely random, not constant
+
+
+# ---------------------------------------------------------------------------
+# large_scene (the scale family behind perf profile --scene and the
+# fanout_1k / mini_run_5k benches)
+# ---------------------------------------------------------------------------
+def test_large_scene_builds_and_runs():
+    from repro.experiments.scenarios import large_scene, scene_plan
+
+    plan = scene_plan()
+    assert len(plan.centers_mhz) == 16  # full 2.4 GHz band at 5 MHz
+    deployment = large_scene(64, seed=2)
+    assert len(deployment.nodes) == 64
+    assert len(deployment.networks) == 16
+    # One saturated link per network by default; everyone else idle.
+    assert all(len(net.spec.links) == 1 for net in deployment.networks)
+    assert deployment.medium.vectorized
+    deployment.start_traffic()
+    deployment.sim.run(0.005)
+    sent = sum(n.mac.stats.sent for n in deployment.nodes.values())
+    assert sent > 0
+
+
+def test_large_scene_deterministic_for_same_seed():
+    from repro.experiments.scenarios import large_scene
+
+    def outcome(seed):
+        deployment = large_scene(64, seed=seed)
+        deployment.start_traffic()
+        deployment.sim.run(0.01)
+        return sorted(
+            (name, node.mac.stats.sent, node.mac.stats.delivered)
+            for name, node in deployment.nodes.items()
+        )
+
+    assert outcome(5) == outcome(5)
+    assert outcome(5) != outcome(6)

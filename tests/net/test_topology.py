@@ -247,3 +247,41 @@ def test_grid_pitch_bounds_min_pairwise_distance(
     for i in range(len(points)):
         for j in range(i + 1, len(points)):
             assert math.dist(points[i], points[j]) >= bound - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# scale_topology (the synthetic dense scene for benches/profiling)
+# ---------------------------------------------------------------------------
+def test_scale_topology_mote_count_and_active_links():
+    from repro.net.topology import scale_topology
+
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, 3.0)  # 6 channels
+    specs = scale_topology(plan, rng(1), 120, active_links_per_network=2)
+    assert len(specs) == len(plan.centers_mhz)
+    total = sum(len(s.nodes) for s in specs)
+    assert total == 120  # 120 // (2*6) = 10 pairs per network, exact
+    for spec in specs:
+        assert len(spec.links) == 2  # the rest are idle listeners
+        assert len(spec.nodes) == 20
+
+
+def test_scale_topology_density_grows_area():
+    from repro.net.topology import scale_topology
+
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, 3.0)
+
+    def side(n):
+        specs = scale_topology(plan, rng(1), n)
+        xs = [node.position[0] for s in specs for node in s.nodes]
+        ys = [node.position[1] for s in specs for node in s.nodes]
+        return max(max(xs) - min(xs), max(ys) - min(ys))
+
+    assert side(1200) > 2.5 * side(120)  # ~sqrt(10) ≈ 3.16x
+
+
+def test_scale_topology_rejects_too_few_motes():
+    from repro.net.topology import scale_topology
+
+    plan = ChannelPlan.inclusive(EVALUATION_BAND, 3.0)
+    with pytest.raises(ValueError):
+        scale_topology(plan, rng(1), 5)

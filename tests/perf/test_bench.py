@@ -18,6 +18,7 @@ QUICK_BENCHES = {
     "event_queue",
     "event_cancel_churn",
     "medium_fanout",
+    "fanout_1k",
     "cca_probe",
     "cca_probe_brute",
     "obs_off_mini_run",

@@ -71,3 +71,21 @@ def test_cli_perf_bench_check_against_fresh_baseline(tmp_path, capsys):
         "--tolerance", "5.0",
     ]) == 0
     assert "within tolerance" in capsys.readouterr().out
+
+
+def test_profile_scene_returns_hotspot_table():
+    from repro.perf import profile_scene
+
+    report = profile_scene(64, sim_s=0.002, top=5)
+    assert "function calls" in report
+
+
+def test_cli_perf_profile_scene_smoke(capsys):
+    assert main(["perf", "profile", "--scene", "64", "--sim-s", "0.002"]) == 0
+    assert "function calls" in capsys.readouterr().out
+
+
+def test_cli_perf_profile_needs_exactly_one_target(capsys):
+    assert main(["perf", "profile"]) == 2
+    assert "--scene" in capsys.readouterr().err
+    assert main(["perf", "profile", "fig29", "--scene", "64"]) == 2

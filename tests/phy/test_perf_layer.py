@@ -196,7 +196,7 @@ def test_unbounded_fading_disables_culling():
     assert [entry[0] for entry in entries] == [far]
 
 
-def test_audible_set_is_cached_and_register_invalidates():
+def test_audible_set_is_cached_and_register_updates_in_place():
     sim, matrix, medium = _cache_rig()
     matrix.set_loss((0, 0), (1, 0), 50.0)
     tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0)
@@ -205,9 +205,32 @@ def test_audible_set_is_cached_and_register_invalidates():
     assert medium._gain_cache.audible_entries(tx, 0.0) is first  # memoised
     matrix.set_loss((0, 0), (2, 0), 55.0)
     late = Radio(sim, medium, "late", (2, 0), 2460.0, 0.0)
+    # Registration is a per-radio incremental update, not a full
+    # invalidation: the cached list object survives and the newcomer is
+    # appended at the end (where a rebuild would have placed it), with
+    # the exact scalar-model mean RSS.
+    updated = medium._gain_cache.audible_entries(tx, 0.0)
+    assert updated is first
+    assert [entry[0] for entry in updated][-1] is late
+    assert updated[-1][1] == -55.0
+
+
+def test_register_updates_match_full_rebuild_bitwise():
+    sim, matrix, medium = _cache_rig()
+    matrix.set_loss((0, 0), (1, 0), 50.0)
+    matrix.set_loss((0, 0), (2, 0), 55.0)
+    matrix.set_loss((0, 0), (3, 0), 300.0)  # inaudible: must not be added
+    tx = Radio(sim, medium, "tx", (0, 0), 2460.0, 0.0)
+    Radio(sim, medium, "rx1", (1, 0), 2460.0, 0.0)
+    medium._gain_cache.audible_entries(tx, 0.0)  # warm the cache
+    Radio(sim, medium, "late", (2, 0), 2460.0, 0.0)
+    Radio(sim, medium, "far", (3, 0), 2460.0, 0.0)
+    incremental = medium._gain_cache.audible_entries(tx, 0.0)
+    medium.invalidate_link_cache()
     rebuilt = medium._gain_cache.audible_entries(tx, 0.0)
-    assert rebuilt is not first
-    assert late in [entry[0] for entry in rebuilt]
+    assert [(e[0], e[1]) for e in incremental] == [
+        (e[0], e[1]) for e in rebuilt
+    ]
 
 
 def test_late_registered_radio_hears_subsequent_transmissions():

@@ -1,0 +1,319 @@
+"""Property tests for the vectorized (batched) phy kernels.
+
+Three layers of guarantees, in decreasing strictness:
+
+1. **Bit-identical batch kernels** — mask leakage and fading draws use
+   only exact float ops (or replay the exact same RNG stream), so the
+   batched results must equal the scalar results with ``==``.
+2. **Guard-banded batch kernels** — batched path loss goes through numpy
+   SIMD transcendentals that may differ from libm by a few ulp; the
+   contract is "within ``PRESELECT_GUARD_DB``" (it is only ever used to
+   *preselect*, never to commit a value).
+3. **Identical traces** — whole-scene runs through the vectorized medium
+   (and, on spectrally separated scenes, the band-sharded medium) must
+   deliver exactly the same frames with the same float-exact outcomes as
+   the scalar kernels.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.fading import LogNormalFading, NoFading
+from repro.phy.frame import Frame
+from repro.phy.mask import PiecewiseLinearMask
+from repro.phy.medium import Medium
+from repro.phy.propagation import (
+    FixedRssMatrix,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+)
+from repro.phy.radio import Radio
+from repro.phy.vectorized import PRESELECT_GUARD_DB, VectorizedLinkCache
+from repro.sim.rng import RngStreams
+from repro.sim.simulator import Simulator
+
+finite = st.floats(
+    min_value=-500.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+positions = st.lists(st.tuples(finite, finite), min_size=1, max_size=40)
+
+
+# ----------------------------------------------------------------------
+# 1. Batched path loss: within the preselection guard of the scalar path
+# ----------------------------------------------------------------------
+@given(
+    rx=positions,
+    tx=st.tuples(finite, finite),
+    power=st.floats(min_value=-25.0, max_value=5.0, allow_nan=False),
+    model_kind=st.sampled_from(["free_space", "log_distance"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_batched_path_loss_within_preselection_guard(rx, tx, power, model_kind):
+    model = (
+        FreeSpacePathLoss() if model_kind == "free_space" else LogDistancePathLoss()
+    )
+    batch = model.received_power_dbm_batch(power, tx, np.asarray(rx, dtype=float))
+    for i, pos in enumerate(rx):
+        scalar = model.received_power_dbm(power, tx, pos)
+        # The guard band is 1e-6 dB; SIMD-vs-libm disagreement must sit
+        # orders of magnitude below it for the preselection to be safe.
+        assert abs(batch[i] - scalar) <= 1e-9 * max(1.0, abs(scalar))
+        assert abs(batch[i] - scalar) < PRESELECT_GUARD_DB
+
+
+@given(
+    rx=positions,
+    tx=st.tuples(finite, finite),
+    power=st.floats(min_value=-25.0, max_value=5.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_batched_fixed_matrix_is_bit_identical(rx, tx, power):
+    """The matrix model does exact dict lookups: batch must be ``==``."""
+    model = FixedRssMatrix(default_loss_db=120.0)
+    for i, pos in enumerate(rx):
+        if i % 2 == 0:
+            model.set_loss(tx, pos, 40.0 + i)
+    batch = model.received_power_dbm_batch(power, tx, np.asarray(rx, dtype=float))
+    for i, pos in enumerate(rx):
+        assert batch[i] == model.received_power_dbm(power, tx, pos)
+
+
+# ----------------------------------------------------------------------
+# 2. Batched mask leakage: bit-identical
+# ----------------------------------------------------------------------
+mask_points = st.lists(
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=7,
+    unique=True,
+).map(lambda fs: [0.0] + sorted(fs))
+
+
+@given(
+    freqs=mask_points,
+    steps=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=8,
+        max_size=8,
+    ),
+    offsets=st.lists(
+        st.floats(min_value=-120.0, max_value=120.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_batched_mask_leakage_is_bit_identical(freqs, steps, offsets):
+    attens = []
+    level = 0.0
+    for i in range(len(freqs)):
+        level += steps[i]
+        attens.append(level)
+    mask = PiecewiseLinearMask(
+        list(zip(freqs, attens)), max_db=attens[-1] + 15.0
+    )
+    batch = mask.leakage_db_batch(np.asarray(offsets, dtype=float))
+    for i, offset in enumerate(offsets):
+        assert batch[i] == mask.leakage_db(offset)
+
+
+# ----------------------------------------------------------------------
+# 3. Batched fading draws: bit-identical stream replay
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_streams=st.integers(min_value=1, max_value=24),
+    rounds=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_sample_db_many_is_bit_identical_to_scalar_loop(seed, n_streams, rounds):
+    """Two fresh models over identically seeded per-link streams: the
+    batched draw must replay the scalar per-stream sequence exactly."""
+    scalar_model = LogNormalFading(sigma_db=4.0, clip_db=12.0)
+    batch_model = LogNormalFading(sigma_db=4.0, clip_db=12.0)
+    names = [f"fading.tx.rx{i}" for i in range(n_streams)]
+    scalar_streams = [RngStreams(seed).stream(name) for name in names]
+    batch_streams = [RngStreams(seed).stream(name) for name in names]
+    for _ in range(rounds):
+        scalar = [scalar_model.sample_db(rng) for rng in scalar_streams]
+        batched = batch_model.sample_db_many(batch_streams)
+        assert batched == scalar
+
+
+def test_no_fading_sample_db_many_is_zeros():
+    streams = [RngStreams(0).stream(f"s{i}") for i in range(5)]
+    assert NoFading().sample_db_many(streams) == [0.0] * 5
+
+
+# ----------------------------------------------------------------------
+# 4. Whole-scene trace identity: vectorized vs scalar cache
+# ----------------------------------------------------------------------
+def _delivery_run(
+    seed,
+    *,
+    vectorized,
+    band_sharding=False,
+    cross_band=False,
+):
+    """Two co-channel transmit chains plus receivers; with ``cross_band``
+    a second network sits 75 MHz away, pre-mask audible (so signals *are*
+    delivered across bands without sharding) but sub-floor post-mask (so
+    sharding drops the cross links).  Returns every delivered frame as a
+    float-exact outcome tuple."""
+    sim = Simulator()
+    rng = RngStreams(seed)
+    matrix = FixedRssMatrix(default_loss_db=200.0)
+    positions = {
+        "a_tx": (0.0, 0.0),
+        "a_rx1": (1.0, 0.0),
+        "a_rx2": (2.0, 0.0),
+        "b_tx": (10.0, 0.0),
+        "b_rx": (11.0, 0.0),
+    }
+    channels = {name: 2405.0 for name in positions}
+    if cross_band:
+        channels["b_tx"] = channels["b_rx"] = 2480.0
+    # Strong in-network links (high SINR, BER 0); cross-network mean RSS
+    # -80 dBm: audible pre-mask (floor -115, clip 12) yet dropped by the
+    # shard condition (-80 + 12 - 60 dB mask < -115).
+    for tx in ("a_tx", "b_tx"):
+        for rx in positions:
+            if rx == tx:
+                continue
+            same = rx.startswith(tx[0])
+            matrix.set_loss(
+                positions[tx], positions[rx], 45.0 if same else 80.0
+            )
+    medium = Medium(
+        sim,
+        matrix,
+        fading=LogNormalFading(sigma_db=4.0, clip_db=12.0),
+        rng=rng,
+        delivery_floor_dbm=-115.0,
+        link_cache=True,
+        vectorized=vectorized,
+        band_sharding=band_sharding,
+    )
+    radios = {
+        name: Radio(sim, medium, name, positions[name], channels[name], 0.0, rng=rng)
+        for name in positions
+    }
+    events = []
+    for name in ("a_rx1", "a_rx2", "b_rx"):
+        def listener(outcome, _name=name):
+            events.append(
+                (
+                    _name,
+                    outcome.frame.source,
+                    outcome.rssi_dbm,
+                    outcome.crc_ok,
+                    outcome.errored_bits,
+                    outcome.total_bits,
+                )
+            )
+        radios[name].add_frame_listener(listener)
+
+    def chain(radio, remaining):
+        if remaining == 0:
+            return
+        frame = Frame(radio.name, None, 40)
+        radio.transmit(
+            frame,
+            lambda t: sim.schedule(1e-4, lambda: chain(radio, remaining - 1)),
+        )
+
+    sim.schedule(0.0, lambda: chain(radios["a_tx"], 10))
+    sim.schedule(1.7e-3, lambda: chain(radios["b_tx"], 10))
+    sim.run_until_idle()
+    assert any(name == "a_rx1" for name, *_ in events)
+    assert any(name == "b_rx" for name, *_ in events)
+    return events
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_vectorized_cache_trace_identical_to_scalar_cache(seed):
+    assert _delivery_run(seed, vectorized=True) == _delivery_run(
+        seed, vectorized=False
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_band_sharding_trace_identical_on_separated_bands(seed):
+    """Cross-shard leakage below the delivery floor ⇒ identical traces.
+
+    The cross-band links *are* audible pre-mask (signals cross without
+    sharding, perturbing only sub-floor accumulator bits), and every
+    in-network link runs at BER-0 SINR, so dropping them cannot change
+    any delivered outcome."""
+    sharded = _delivery_run(
+        seed, vectorized=True, band_sharding=True, cross_band=True
+    )
+    plain = _delivery_run(
+        seed, vectorized=True, band_sharding=False, cross_band=True
+    )
+    assert sharded == plain
+
+
+# ----------------------------------------------------------------------
+# 5. Shard-condition unit properties
+# ----------------------------------------------------------------------
+def _shard_rig(cross_band):
+    sim = Simulator()
+    rng = RngStreams(3)
+    matrix = FixedRssMatrix(default_loss_db=80.0)
+    medium = Medium(
+        sim,
+        matrix,
+        fading=LogNormalFading(sigma_db=4.0, clip_db=12.0),
+        rng=rng,
+        delivery_floor_dbm=-115.0,
+        band_sharding=True,
+    )
+    tx = Radio(sim, medium, "tx", (0.0, 0.0), 2405.0, 0.0, rng=rng)
+    peers = [
+        Radio(
+            sim,
+            medium,
+            f"rx{i}",
+            (float(i + 1), 0.0),
+            2480.0 if cross_band else 2405.0,
+            0.0,
+            rng=rng,
+        )
+        for i in range(4)
+    ]
+    return medium, tx, peers
+
+
+def test_sharding_never_drops_co_channel_links():
+    medium, tx, peers = _shard_rig(cross_band=False)
+    cache = medium._vec_cache
+    assert isinstance(cache, VectorizedLinkCache)
+    radios, _, _ = cache.sharded_fanout_lists(tx, 0.0, tx.channel_mhz)
+    assert set(radios) == set(peers)  # zero leakage: all kept
+
+
+def test_sharding_drops_sub_floor_cross_band_links():
+    medium, tx, peers = _shard_rig(cross_band=True)
+    cache = medium._vec_cache
+    full, _, _ = cache.fanout_lists(tx, 0.0)
+    assert set(full) == set(peers)  # audible pre-mask (-80 + 12 >= -115)
+    sharded, _, _ = cache.sharded_fanout_lists(tx, 0.0, tx.channel_mhz)
+    assert sharded == []  # -80 + 12 - 60 < -115: the whole band drops
+
+
+def test_band_sharding_requires_vectorized():
+    import pytest
+
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Medium(
+            sim,
+            FixedRssMatrix(),
+            rng=RngStreams(1),
+            vectorized=False,
+            band_sharding=True,
+        )
