@@ -1,0 +1,98 @@
+"""Micro-bench: campaign server round trips vs the one-shot engine.
+
+Benchmarks the service layer's overhead on top of the same jobs:
+
+- **submit_wait_cold** — HTTP submit + poll to done, empty cache;
+- **submit_wait_warm** — identical resubmission, every job a cache hit
+  (this is the regime a long-running server actually lives in);
+- **events_stream** — full NDJSON progress stream for a warm campaign.
+
+The server runs in-process (thread workers, ephemeral port) with a
+synthetic runner, so the numbers isolate queue/journal/HTTP overhead
+from kernel time.  Run with
+``pytest benchmarks/bench_server.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.campaign.client import CampaignClient
+from repro.campaign.server import CampaignServer, ServerConfig
+from repro.experiments.results import ResultTable
+
+IDS = ["alpha", "beta"]
+SEEDS = [1, 2, 3]
+
+
+def runner(spec):
+    rng = random.Random(f"{spec.exhibit_id}:{spec.seed}")
+    table = ResultTable(f"synthetic {spec.exhibit_id}")
+    for x in range(50):
+        table.add_row(x=x, y=rng.random())
+    return table
+
+
+class ServerHarness:
+    def __init__(self, tmp_path):
+        config = ServerConfig(
+            port=0, jobs=0,
+            state_dir=str(tmp_path / "state"),
+            cache_dir=str(tmp_path / "cache"),
+        )
+        self.server = CampaignServer(config, runner=runner, known_ids=IDS)
+        self.thread = threading.Thread(target=self.server.run, daemon=True)
+        self.thread.start()
+        assert self.server.ready.wait(15)
+        self.client = CampaignClient(
+            f"http://127.0.0.1:{self.server.port}"
+        )
+
+    def submit_and_wait(self):
+        doc = self.client.submit(ids=IDS, seeds=SEEDS)
+        return self.client.wait(doc["id"], poll_s=0.01, timeout_s=60)
+
+    def close(self):
+        self.server.request_shutdown()
+        self.thread.join(15)
+
+
+def test_server_submit_wait_cold(benchmark, tmp_path):
+    harness = ServerHarness(tmp_path)
+    try:
+        final = benchmark.pedantic(
+            harness.submit_and_wait, rounds=1, iterations=1
+        )
+        assert final["completed"] == len(IDS) * len(SEEDS)
+        benchmark.extra_info["cache_hits"] = final["cache_hits"]
+    finally:
+        harness.close()
+
+
+def test_server_submit_wait_warm(benchmark, tmp_path):
+    harness = ServerHarness(tmp_path)
+    try:
+        harness.submit_and_wait()  # populate the cache
+        final = benchmark.pedantic(
+            harness.submit_and_wait, rounds=3, iterations=1
+        )
+        assert final["cache_hits"] == len(IDS) * len(SEEDS)
+        benchmark.extra_info["cache_hits"] = final["cache_hits"]
+    finally:
+        harness.close()
+
+
+def test_server_events_stream(benchmark, tmp_path):
+    harness = ServerHarness(tmp_path)
+    try:
+        cid = harness.client.submit(ids=IDS, seeds=SEEDS)["id"]
+        harness.client.wait(cid, poll_s=0.01, timeout_s=60)
+        events = benchmark.pedantic(
+            lambda: list(harness.client.stream_events(cid)),
+            rounds=3, iterations=1,
+        )
+        assert events[-1]["event"] == "done"
+        benchmark.extra_info["events"] = len(events)
+    finally:
+        harness.close()

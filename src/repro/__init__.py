@@ -25,12 +25,12 @@ The package implements, from scratch:
 
 from . import check, core, dot11, experiments, mac, net, obs, phy, sim
 
-# 0.5.0: multi-hop routing subsystem (repro.net.routing) plus the
-# `convergecast` exhibit.  Existing exhibit results are unchanged, but
-# the exhibit registry grew by one — the version bump invalidates
-# `.repro-cache/` so campaign inventories from the 28-exhibit era are
-# not mixed with the new set.
-__version__ = "0.5.0"
+# 0.6.0: campaign-as-a-service — the long-running experiment server
+# (repro.campaign.server) with a shared, crash-safe, LRU-budgeted result
+# cache.  Exhibit physics are untouched, but the bump keeps pre-server
+# cache inventories (no mtime-based LRU recency, no recorded-miss
+# eviction counters) from mixing with entries the server now manages.
+__version__ = "0.6.0"
 
 from . import campaign, perf  # noqa: E402  (the cache keys on __version__)
 

@@ -10,6 +10,13 @@
                                                # batch-run exhibits x seeds
     python -m repro campaign status            # result-cache inventory
     python -m repro campaign clean             # drop the result cache
+    python -m repro serve --port 8642 --jobs 4 # long-running campaign
+                                               # server (HTTP/JSON, shared
+                                               # crash-safe result cache)
+    python -m repro submit --ids fig04 --seeds 1,2 --stream
+                                               # submit a campaign to a
+                                               # running server and stream
+                                               # NDJSON progress events
     python -m repro perf profile fig19 --fast  # cProfile top-N hotspots
     python -m repro perf bench                 # kernel micro-benchmarks
                                                # (writes BENCH_kernel.json)
@@ -32,6 +39,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .experiments import report as report_module
@@ -150,6 +158,97 @@ def _cmd_campaign_clean(args) -> int:
     removed = _campaign_cache(args).clear()
     print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .campaign.server import CampaignServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        cache_max_bytes=(int(args.cache_max_mb * 2 ** 20)
+                         if args.cache_max_mb else None),
+        queue_shards=args.queue_shards,
+    )
+    server = CampaignServer(config)
+
+    def announce(bound: CampaignServer) -> None:
+        print(
+            f"repro campaign server on http://{config.host}:{bound.port} "
+            f"(jobs={config.jobs}, state={config.state_dir}, "
+            f"cache={config.cache_dir or 'default'})",
+            file=sys.stderr, flush=True,
+        )
+
+    server.announce = announce
+    server.run()
+    print("repro campaign server: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _parse_params(pairs):
+    params = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param needs key=value, got {pair!r}")
+        try:
+            import json as _json
+
+            params[key] = _json.loads(raw)
+        except ValueError:
+            params[key] = raw  # bare string value
+    return params
+
+
+def _cmd_submit(args) -> int:
+    from .campaign.client import CampaignClient, ServerError
+    from .experiments.results import ResultTable
+
+    client = CampaignClient(args.url, timeout_s=args.http_timeout)
+    try:
+        doc = client.submit(
+            ids=args.ids or None,
+            seeds=args.seeds,
+            fast=args.fast,
+            params=_parse_params(args.param),
+        )
+        campaign_id = doc["id"]
+        print(f"submitted {campaign_id}: {doc['total']} job(s)")
+        if args.no_wait:
+            return 0
+        if args.stream:
+            for event in client.stream_events(campaign_id):
+                print(json.dumps(event, sort_keys=True))
+            doc = client.campaign(campaign_id)
+        else:
+            doc = client.wait(campaign_id, timeout_s=args.wait_timeout)
+    except ServerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    result = doc.get("result") or {}
+    print(
+        f"campaign {doc['id']}: {doc['completed']}/{doc['total']} ok, "
+        f"{doc['failed']} failed, cache {doc['cache_hits']} hit / "
+        f"{doc['cache_misses']} miss, {doc['elapsed_s']:.1f}s"
+    )
+    if args.aggregate:
+        for eid in sorted(result.get("aggregated", {})):
+            print()
+            print(ResultTable.from_json(
+                result["aggregated"][eid]).to_text("{:.4g}"))
+    for failure in result.get("failures", []):
+        print(f"FAILED {failure['spec']} after {failure['attempts']} "
+              f"attempts:\n{failure['error']}", file=sys.stderr)
+    return 0 if doc["failed"] == 0 else 1
 
 
 def _cmd_perf_profile(args) -> int:
@@ -352,6 +451,56 @@ def main(argv=None) -> int:
     c_clean = campaign_sub.add_parser("clean", help="drop the result cache")
     c_clean.add_argument("--cache-dir", default=None)
     c_clean.set_defaults(func=_cmd_campaign_clean)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the long-running campaign server (HTTP/JSON)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642)
+    serve_parser.add_argument("--jobs", type=int, default=2,
+                              help="worker processes (0 = in-process "
+                                   "threads, no per-job timeouts)")
+    serve_parser.add_argument("--state-dir", default=".repro-server",
+                              help="queue journal directory "
+                                   "(default .repro-server)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="shared result cache (default "
+                                   ".repro-cache, shared with one-shot "
+                                   "campaign runs)")
+    serve_parser.add_argument("--cache-max-mb", type=float, default=None,
+                              help="LRU size budget for the shared cache")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-job wall-clock budget in seconds")
+    serve_parser.add_argument("--retries", type=int, default=2)
+    serve_parser.add_argument("--queue-shards", type=int, default=4,
+                              help="journal shard files (default 4)")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a campaign to a running server"
+    )
+    submit_parser.add_argument("--url", default="http://127.0.0.1:8642")
+    submit_parser.add_argument("--ids", nargs="*", default=None,
+                               help="exhibit ids (default: all registered)")
+    submit_parser.add_argument("--seeds", type=parse_seeds, default=[1],
+                               help="comma list (1,2,3) or range (1-5)")
+    submit_parser.add_argument("--fast", action="store_true")
+    submit_parser.add_argument("--param", action="append", default=None,
+                               metavar="KEY=VALUE",
+                               help="extra exhibit parameter (repeatable; "
+                                    "value parsed as JSON, else string)")
+    submit_parser.add_argument("--stream", action="store_true",
+                               help="stream NDJSON progress events")
+    submit_parser.add_argument("--no-wait", action="store_true",
+                               help="submit and exit without waiting")
+    submit_parser.add_argument("--aggregate", action="store_true",
+                               help="print per-exhibit mean ± CI tables")
+    submit_parser.add_argument("--wait-timeout", type=float, default=None,
+                               help="give up polling after this many seconds")
+    submit_parser.add_argument("--http-timeout", type=float, default=600.0,
+                               help="per-request socket timeout "
+                                    "(default 600)")
+    submit_parser.set_defaults(func=_cmd_submit)
 
     perf_parser = sub.add_parser(
         "perf", help="profiling and kernel benchmarks"

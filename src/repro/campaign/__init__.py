@@ -31,16 +31,18 @@ Command line::
 """
 
 from .aggregate import aggregate_campaign, aggregate_seeds
-from .cache import DEFAULT_CACHE_DIR, CacheEntry, ResultCache
+from .cache import DEFAULT_CACHE_DIR, CacheEntry, CacheStats, ResultCache
 from .executor import (
     CampaignResult,
     JobOutcome,
     JobTimeout,
+    execute_payload,
     run_campaign,
     run_registry_job,
 )
 from .jobs import CampaignSpec, JobSpec, expand_jobs
 from .progress import CampaignStats, ProgressPrinter
+from .queue import CampaignQueue, QueuedCampaign
 
 __all__ = [
     "CampaignSpec",
@@ -48,9 +50,11 @@ __all__ = [
     "expand_jobs",
     "ResultCache",
     "CacheEntry",
+    "CacheStats",
     "DEFAULT_CACHE_DIR",
     "run_campaign",
     "run_registry_job",
+    "execute_payload",
     "CampaignResult",
     "JobOutcome",
     "JobTimeout",
@@ -58,4 +62,22 @@ __all__ = [
     "aggregate_campaign",
     "CampaignStats",
     "ProgressPrinter",
+    "CampaignQueue",
+    "QueuedCampaign",
+    # lazily resolved (they pull in asyncio/obs): see __getattr__
+    "CampaignServer",
+    "ServerConfig",
+    "CampaignClient",
 ]
+
+
+def __getattr__(name):  # PEP 562 — keep `import repro` light
+    if name in ("CampaignServer", "ServerConfig"):
+        from . import server
+
+        return getattr(server, name)
+    if name == "CampaignClient":
+        from .client import CampaignClient
+
+        return CampaignClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

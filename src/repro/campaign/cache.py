@@ -9,8 +9,19 @@ pays for jobs whose inputs actually changed; bumping the package version
 invalidates every entry at once.
 
 Entries are single JSON files, written atomically (tmp file + rename) so
-concurrent campaign processes can share one cache directory.  A corrupt
-or unreadable entry is treated as a miss and removed.
+concurrent campaign processes — and the long-running campaign server's
+worker threads — can share one cache directory.  A corrupt, truncated or
+unreadable entry (a worker killed mid-write, a disk-full partial JSON)
+is treated as a *recorded* miss: the bad file is evicted, a counter
+ticks, and the campaign re-runs the job instead of dying on a
+``JSONDecodeError``.
+
+The store keeps :class:`CacheStats` (hits / misses / evictions /
+corrupt-entry counts), optionally mirrored into a
+:class:`repro.obs.metrics.MetricsRegistry` so the server can export them,
+and enforces an optional LRU size budget: every hit refreshes the entry
+file's mtime, and ``put`` evicts least-recently-used entries until the
+directory fits ``max_bytes`` again.
 """
 
 from __future__ import annotations
@@ -18,15 +29,19 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 from ..experiments.results import ResultTable
 from .jobs import JobSpec
 
-__all__ = ["CacheEntry", "ResultCache", "DEFAULT_CACHE_DIR"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.metrics import MetricsRegistry
+
+__all__ = ["CacheEntry", "CacheStats", "ResultCache", "DEFAULT_CACHE_DIR"]
 
 #: Default cache location, relative to the invoking process's cwd.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -49,15 +64,67 @@ class CacheEntry:
     metrics: Optional[Dict[str, Any]] = None
 
 
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`ResultCache` handle."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    bytes_evicted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "bytes_evicted": self.bytes_evicted,
+        }
+
+
 class ResultCache:
-    """Content-addressed store of job results under one directory."""
+    """Content-addressed store of job results under one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first ``put``).
+    version:
+        Overrides ``repro.__version__`` in cache keys (tests).
+    max_bytes:
+        Optional LRU size budget.  When the directory exceeds it after a
+        ``put``, least-recently-used entries (oldest mtime; hits refresh
+        mtime) are evicted until it fits.  ``None`` disables eviction.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        every :class:`CacheStats` increment is mirrored into counters
+        named ``campaign.cache.<field>`` so the server's ``/cache/stats``
+        endpoint and obs exports see live values.
+    """
 
     def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR,
-                 version: Optional[str] = None) -> None:
+                 version: Optional[str] = None, *,
+                 max_bytes: Optional[int] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if version is None:
             from .. import __version__ as version
         self.root = Path(root)
         self.version = version
+        self.max_bytes = max_bytes
+        self.metrics = metrics
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self.stats, name, getattr(self.stats, name) + amount)
+        if self.metrics is not None:
+            self.metrics.counter(f"campaign.cache.{name}").inc(amount)
 
     # ------------------------------------------------------------------
     def path_for(self, spec: JobSpec) -> Path:
@@ -66,16 +133,29 @@ class ResultCache:
         return self.root / f"{spec.exhibit_id}-s{spec.seed}-{digest[:16]}.json"
 
     def get(self, spec: JobSpec) -> Optional[CacheEntry]:
-        """Look up a spec; a corrupt/stale entry counts as a miss."""
+        """Look up a spec; a corrupt/stale entry counts as a miss.
+
+        Anything short of a well-formed, key-matching entry — missing
+        file, truncated or empty JSON (a worker killed mid-write despite
+        tmp+rename, disk-full partial writes), undecodable bytes, or a
+        payload whose key does not match — is a recorded miss; bad files
+        are evicted so the next writer starts clean.
+        """
         path = self.path_for(spec)
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(path.read_bytes())
         except FileNotFoundError:
+            self._bump("misses")
             return None
-        except (OSError, json.JSONDecodeError):
-            self._evict(path)
+        except (OSError, ValueError):
+            # ValueError covers json.JSONDecodeError (truncated/empty
+            # JSON) and UnicodeDecodeError (binary garbage) alike.
+            self._evict_counted(path, corrupt=True)
+            self._bump("misses")
             return None
         try:
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
             if payload["format"] != _FORMAT:
                 raise ValueError(f"unknown cache format {payload['format']!r}")
             if payload["key"] != spec.cache_key(self.version):
@@ -85,7 +165,7 @@ class ResultCache:
             metrics = payload.get("metrics")
             if metrics is not None and not isinstance(metrics, dict):
                 raise ValueError("cache metrics must be a dict")
-            return CacheEntry(
+            entry = CacheEntry(
                 spec=JobSpec.from_dict(payload["spec"]),
                 table=table,
                 elapsed_s=float(payload.get("elapsed_s", 0.0)),
@@ -94,8 +174,12 @@ class ResultCache:
                 metrics=metrics,
             )
         except (KeyError, TypeError, ValueError):
-            self._evict(path)
+            self._evict_counted(path, corrupt=True)
+            self._bump("misses")
             return None
+        self._bump("hits")
+        self._touch(path)
+        return entry
 
     def put(self, spec: JobSpec, table: ResultTable, elapsed_s: float,
             metrics: Optional[Dict[str, Any]] = None) -> Path:
@@ -132,6 +216,9 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._bump("puts")
+        if self.max_bytes is not None:
+            self._enforce_budget(protect=path)
         return path
 
     # ------------------------------------------------------------------
@@ -165,7 +252,7 @@ class ResultCache:
                 by_exhibit[exhibit] = by_exhibit.get(exhibit, 0) + 1
                 if payload.get("version") == self.version:
                     current += 1
-            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            except (OSError, ValueError, KeyError, TypeError):
                 continue
         return {
             "root": str(self.root),
@@ -176,7 +263,72 @@ class ResultCache:
             "by_exhibit": dict(sorted(by_exhibit.items())),
         }
 
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Counters + directory summary, the ``GET /cache/stats`` payload."""
+        with self._lock:
+            counters = self.stats.to_dict()
+        snap = {
+            "root": str(self.root),
+            "version": self.version,
+            "max_bytes": self.max_bytes,
+        }
+        snap.update(counters)
+        total = 0
+        count = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        snap["entries"] = count
+        snap["bytes"] = total
+        return snap
+
     # ------------------------------------------------------------------
+    def _enforce_budget(self, protect: Optional[Path] = None) -> int:
+        """Evict LRU entries until the directory fits ``max_bytes``.
+
+        The just-written entry (``protect``) is never evicted: a budget
+        smaller than one entry must not make the cache eat its own
+        freshest result.  Returns the number of entries evicted.
+        """
+        assert self.max_bytes is not None
+        candidates: List[Tuple[float, int, Path]] = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:  # concurrently evicted by another process
+                continue
+            total += stat.st_size
+            if protect is None or path != protect:
+                candidates.append((stat.st_mtime, stat.st_size, path))
+        candidates.sort()  # oldest mtime (= least recently used) first
+        evicted = 0
+        for _mtime, size, path in candidates:
+            if total <= self.max_bytes:
+                break
+            self._evict_counted(path)
+            self._bump("bytes_evicted", size)
+            total -= size
+            evicted += 1
+        return evicted
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh the entry's mtime so LRU eviction sees the hit."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced with an eviction
+            pass
+
+    def _evict_counted(self, path: Path, corrupt: bool = False) -> None:
+        self._evict(path)
+        self._bump("evictions")
+        if corrupt:
+            self._bump("corrupt")
+
     @staticmethod
     def _evict(path: Path) -> None:
         try:

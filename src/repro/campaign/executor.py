@@ -24,6 +24,7 @@ regardless of ``jobs`` (verified by tests and the acceptance criteria).
 from __future__ import annotations
 
 import signal
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -40,6 +41,7 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "run_registry_job",
+    "execute_payload",
     "JobTimeout",
 ]
 
@@ -128,11 +130,20 @@ def _alarm_handler(_signum, _frame):  # pragma: no cover - fires via signal
 def _execute_with_timeout(
     runner: Runner, spec: JobSpec, timeout_s: Optional[float]
 ) -> ResultTable:
-    """Run one job, enforcing the timeout with ``SIGALRM`` when available."""
+    """Run one job, enforcing the timeout with ``SIGALRM`` when available.
+
+    ``signal.signal``/``setitimer`` raise ``ValueError`` off the main
+    thread, so when a worker *thread* (the campaign server runs jobs on
+    executor threads) reaches this point the alarm is skipped and the
+    job runs without a wall-clock budget rather than crashing the
+    thread.  Pool *processes* execute jobs on their main thread and keep
+    the full timeout behaviour.
+    """
     use_alarm = (
         timeout_s is not None
         and timeout_s > 0
         and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
     )
     if not use_alarm:
         return runner(spec)
@@ -187,6 +198,12 @@ def _worker(payload: Dict[str, Any], runner: Optional[Runner]) -> Dict[str, Any]
             "error": traceback.format_exc(limit=8),
             "elapsed_s": time.perf_counter() - start,
         }
+
+
+#: Public name of the pool entry point: the campaign server submits the
+#: exact same payload dicts to its own worker pool, so a job executes
+#: identically whether it came from ``run_campaign`` or over HTTP.
+execute_payload = _worker
 
 
 # ----------------------------------------------------------------------

@@ -18,7 +18,13 @@ __all__ = ["CampaignStats", "ProgressPrinter"]
 
 @dataclass
 class CampaignStats:
-    """Mutable counters describing one campaign run."""
+    """Mutable counters describing one campaign run.
+
+    ``started_at`` stays wall-clock (it names a point in time for logs
+    and cache payloads); ``elapsed_s`` is measured on the monotonic
+    clock so an NTP step mid-campaign — routine in a server that runs
+    for days — can never produce a negative or absurd duration.
+    """
 
     total: int = 0
     completed: int = 0
@@ -27,6 +33,7 @@ class CampaignStats:
     cache_misses: int = 0
     retries: int = 0
     started_at: float = field(default_factory=time.time)
+    started_monotonic: float = field(default_factory=time.monotonic)
     job_elapsed_s: Dict[tuple, float] = field(default_factory=dict)
 
     @property
@@ -34,7 +41,7 @@ class CampaignStats:
         return self.completed + self.failed
 
     def elapsed_s(self) -> float:
-        return time.time() - self.started_at
+        return time.monotonic() - self.started_monotonic
 
     def record(self, key: tuple, elapsed_s: float, *, ok: bool,
                from_cache: bool, retries: int = 0) -> None:

@@ -1,0 +1,216 @@
+"""Persistent sharded campaign queue: a JSONL journal with recovery.
+
+The campaign server must survive being killed mid-campaign: a client who
+submitted work expects the restarted server to finish it, not to shrug.
+The queue therefore journals three record kinds, one JSON object per
+line, appended and flushed before the corresponding state becomes
+visible to clients:
+
+- ``submit`` — a campaign was accepted: its id, the raw submission
+  payload (ids/seeds/profile/params/options) and the expanded job list;
+- ``job`` — one job finished (ok or failed, cache hit or computed);
+- ``done`` — the campaign completed and its result is reproducible from
+  the submission alone (every job's table is in the result cache).
+
+Journals are *sharded* by campaign id across ``shards`` append-only
+files so a busy server never funnels every append through one file (and
+a corrupted shard only loses its own campaigns).  Replay tolerates a
+truncated trailing line — the signature of a crash mid-append — by
+skipping undecodable lines.
+
+Recovery is deliberately dumb: :meth:`CampaignQueue.recover` returns the
+submissions that never reached ``done``; the server simply re-runs them.
+Jobs that completed before the crash were journalled *after* their
+result entered the shared cache, so the re-run serves them as cache hits
+and the aggregate result is identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["CampaignQueue", "QueuedCampaign", "DEFAULT_QUEUE_DIR"]
+
+#: Default journal location inside the server's state directory.
+DEFAULT_QUEUE_DIR = "queue"
+
+
+@dataclass
+class QueuedCampaign:
+    """Replayed state of one journalled campaign."""
+
+    campaign_id: str
+    payload: Dict[str, Any]
+    #: ``(exhibit_id, seed)`` keys of jobs whose completion was journalled.
+    completed: List[Tuple[str, int]] = field(default_factory=list)
+    failed: List[Tuple[str, int]] = field(default_factory=list)
+    done: bool = False
+
+    @property
+    def finished_jobs(self) -> int:
+        return len(self.completed) + len(self.failed)
+
+
+class CampaignQueue:
+    """Append-only sharded JSONL journal of campaign lifecycles."""
+
+    def __init__(self, root: str | os.PathLike, shards: int = 4) -> None:
+        if shards < 1:
+            raise ValueError("need at least one journal shard")
+        self.root = Path(root)
+        self.shards = shards
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def shard_path(self, campaign_id: str) -> Path:
+        index = zlib.crc32(campaign_id.encode("utf-8")) % self.shards
+        return self.root / f"journal-{index:02d}.jsonl"
+
+    def shard_paths(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("journal-*.jsonl"))
+
+    def _append(self, campaign_id: str, record: Dict[str, Any]) -> None:
+        """Durably append one record to the campaign's shard.
+
+        The line is flushed and fsynced before this returns: once the
+        caller exposes the new state (an HTTP 200, a progress event), a
+        crash must not be able to forget it.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        path = self.shard_path(campaign_id)
+        with self._lock:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    def record_submit(self, campaign_id: str,
+                      payload: Dict[str, Any]) -> None:
+        self._append(campaign_id, {
+            "op": "submit", "id": campaign_id, "payload": payload,
+        })
+
+    def record_job(self, campaign_id: str, exhibit_id: str, seed: int, *,
+                   ok: bool, from_cache: bool = False,
+                   elapsed_s: float = 0.0) -> None:
+        self._append(campaign_id, {
+            "op": "job", "id": campaign_id,
+            "exhibit_id": exhibit_id, "seed": seed,
+            "ok": ok, "from_cache": from_cache,
+            "elapsed_s": round(float(elapsed_s), 6),
+        })
+
+    def record_done(self, campaign_id: str) -> None:
+        self._append(campaign_id, {"op": "done", "id": campaign_id})
+
+    # ------------------------------------------------------------------
+    def _replay(self) -> Iterator[Dict[str, Any]]:
+        """Every decodable record across all shards, oldest file first.
+
+        Order across shards is not meaningful (campaigns never span
+        shards); order within a shard is append order.
+        """
+        for path in self.shard_paths():
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # Truncated trailing line from a crash mid-append (or
+                    # a torn byte range): skip it — the matching state
+                    # change was never acknowledged to any client.
+                    continue
+                if isinstance(record, dict) and "op" in record:
+                    yield record
+
+    def replay(self) -> Dict[str, QueuedCampaign]:
+        """Fold the journal into per-campaign state (all campaigns)."""
+        campaigns: Dict[str, QueuedCampaign] = {}
+        for record in self._replay():
+            cid = record.get("id")
+            if not isinstance(cid, str):
+                continue
+            if record["op"] == "submit":
+                payload = record.get("payload")
+                if isinstance(payload, dict):
+                    campaigns[cid] = QueuedCampaign(cid, payload)
+            elif record["op"] == "job":
+                queued = campaigns.get(cid)
+                if queued is not None:
+                    key = (str(record.get("exhibit_id")),
+                           int(record.get("seed", 0)))
+                    target = (queued.completed if record.get("ok")
+                              else queued.failed)
+                    if key not in target:
+                        target.append(key)
+            elif record["op"] == "done":
+                queued = campaigns.get(cid)
+                if queued is not None:
+                    queued.done = True
+        return campaigns
+
+    def recover(self) -> List[QueuedCampaign]:
+        """Campaigns submitted but never journalled ``done``, in order."""
+        return [q for q in self.replay().values() if not q.done]
+
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Drop completed campaigns from the journal; returns lines kept.
+
+        Rewrites each shard atomically (tmp + rename) retaining only the
+        records of campaigns that have not finished, so a long-lived
+        server's journal stays proportional to its *outstanding* work.
+        """
+        unfinished = {q.campaign_id for q in self.recover()}
+        kept = 0
+        for path in self.shard_paths():
+            lines: List[str] = []
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and record.get("id") in unfinished:
+                    lines.append(line)
+            tmp = path.with_suffix(".tmp")
+            with self._lock:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    for line in lines:
+                        handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            kept += len(lines)
+        return kept
+
+    def status(self) -> Dict[str, Any]:
+        """Journal summary for the server's root endpoint."""
+        campaigns = self.replay()
+        outstanding = [c for c in campaigns.values() if not c.done]
+        return {
+            "root": str(self.root),
+            "shards": len(self.shard_paths()),
+            "campaigns": len(campaigns),
+            "outstanding": len(outstanding),
+            "outstanding_ids": [c.campaign_id for c in outstanding],
+        }

@@ -25,7 +25,15 @@ Disabled (the default) the instrumentation costs one ``is None`` test per
 hook site, and enabling it never changes fixed-seed results.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    metric_key,
+    registry_snapshot,
+)
 from .recorder import Observability
 from .runtime import ObsSession, active_obs_session
 from .sinks import (
@@ -46,6 +54,8 @@ __all__ = [
     "Histogram",
     "TimeSeries",
     "MetricsRegistry",
+    "metric_key",
+    "registry_snapshot",
     "Span",
     "SpanLog",
     "Observability",

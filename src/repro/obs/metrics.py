@@ -30,6 +30,8 @@ __all__ = [
     "TimeSeries",
     "MetricsRegistry",
     "LabelKey",
+    "metric_key",
+    "registry_snapshot",
 ]
 
 #: Canonical hashable form of a label set: sorted ``(key, value)`` pairs.
@@ -38,6 +40,14 @@ LabelKey = Tuple[Tuple[str, str], ...]
 
 def _freeze_labels(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def metric_key(name: str, labels: Any) -> str:
+    """Stable flat key for snapshots: ``name{k=v,...}`` or bare name."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
@@ -251,3 +261,45 @@ class MetricsRegistry:
 
     def __len__(self) -> int:
         return len(self._metrics)
+
+
+def registry_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """One registry serialised to a JSON-safe dict.
+
+    Unlike :meth:`repro.obs.runtime.ObsSession.snapshot` — which pools
+    metrics *across* per-simulator recorders — this reads a single
+    standalone registry, which is what process-level services (the
+    campaign server's cache and queue counters) keep.  Gauges are read
+    live at snapshot time.
+    """
+    counters = {
+        metric_key(c.name, c.labels): c.value for c in registry.counters()
+    }
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for hist in registry.histograms():
+        histograms[metric_key(hist.name, hist.labels)] = {
+            "count": hist.count,
+            "total": hist.total,
+            "mean": hist.mean,
+            "min": hist.min,
+            "max": hist.max,
+            "p50": hist.p50,
+            "p95": hist.p95,
+            "p99": hist.p99,
+        }
+    gauges = {
+        metric_key(g.name, g.labels): g.read()
+        for g in registry.of_kind("gauge")
+    }
+    series = {
+        metric_key(s.name, s.labels): {"points": len(s), "last": s.last()}
+        for s in registry.series()
+    }
+    snap: Dict[str, Any] = {"counters": counters}
+    if histograms:
+        snap["histograms"] = histograms
+    if gauges:
+        snap["gauges"] = gauges
+    if series:
+        snap["series"] = series
+    return snap

@@ -19,20 +19,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from .metrics import metric_key as _metric_key
 from .recorder import Observability
 from .sinks import SCHEMA_VERSION, Sink
 
 __all__ = ["ObsSession", "active_obs_session"]
 
 _ACTIVE: Optional["ObsSession"] = None
-
-
-def _metric_key(name: str, labels: Any) -> str:
-    """Stable flat key for snapshots: ``name{k=v,...}`` or bare name."""
-    if not labels:
-        return name
-    inner = ",".join(f"{k}={v}" for k, v in labels)
-    return f"{name}{{{inner}}}"
 
 
 def _quantile(ordered: List[float], q: float) -> float:

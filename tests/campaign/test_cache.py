@@ -82,6 +82,105 @@ def test_corrupt_entry_is_a_miss_and_evicted(tmp_path):
     assert not path.exists()  # evicted
 
 
+def test_truncated_entry_is_a_recorded_miss(tmp_path):
+    """Regression: a worker killed mid-write (or disk-full) leaves a
+    truncated JSON prefix; ``get`` must record a miss and evict the bad
+    file instead of raising ``JSONDecodeError`` into the campaign."""
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=1)
+    path = cache.put(spec, sample_table(), 1.0)
+    full = path.read_bytes()
+    path.write_bytes(full[: len(full) // 2])  # torn write
+    assert cache.get(spec) is None
+    assert not path.exists()
+    assert cache.stats.corrupt == 1
+    assert cache.stats.evictions == 1
+    assert cache.stats.misses == 1
+    # the slot is clean: the next put/get round-trips normally
+    cache.put(spec, sample_table(), 1.0)
+    assert cache.get(spec) is not None
+
+
+def test_empty_and_binary_entries_are_recorded_misses(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=1)
+    path = cache.put(spec, sample_table(), 1.0)
+    path.write_bytes(b"")  # crashed before any byte hit the file
+    assert cache.get(spec) is None
+    path2 = cache.put(spec, sample_table(), 1.0)
+    path2.write_bytes(b"\xff\xfe\x00garbage\x80")  # undecodable bytes
+    assert cache.get(spec) is None
+    assert not path2.exists()
+    assert cache.stats.corrupt == 2
+
+
+def test_stats_counters_and_snapshot(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0")
+    spec = JobSpec.make("fig04", seed=1)
+    assert cache.get(spec) is None  # miss (absent)
+    cache.put(spec, sample_table(), 1.0)
+    assert cache.get(spec) is not None  # hit
+    assert cache.get(JobSpec.make("fig04", seed=2)) is None  # miss
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.puts) == (1, 2, 1)
+    snap = cache.stats_snapshot()
+    assert snap["hits"] == 1 and snap["misses"] == 2 and snap["puts"] == 1
+    assert snap["entries"] == 1 and snap["bytes"] > 0
+    assert snap["max_bytes"] is None
+
+
+def test_counters_mirror_into_obs_registry(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path / "cache", version="0.1.0",
+                        metrics=registry)
+    spec = JobSpec.make("fig04", seed=1)
+    cache.get(spec)
+    cache.put(spec, sample_table(), 1.0)
+    cache.get(spec)
+    by_name = {c.name: c.value for c in registry.counters()}
+    assert by_name["campaign.cache.hits"] == 1
+    assert by_name["campaign.cache.misses"] == 1
+    assert by_name["campaign.cache.puts"] == 1
+
+
+def test_lru_eviction_respects_size_budget(tmp_path):
+    probe = ResultCache(tmp_path / "probe", version="0.1.0")
+    entry_size = probe.put(
+        JobSpec.make("fig04", seed=1), sample_table(), 1.0
+    ).stat().st_size
+    # Budget for two entries: the third put must evict the LRU one.
+    cache = ResultCache(tmp_path / "cache", version="0.1.0",
+                        max_bytes=int(entry_size * 2.5))
+    import os
+
+    paths = {}
+    for seed in (1, 2, 3):
+        paths[seed] = cache.put(JobSpec.make("fig04", seed=seed),
+                                sample_table(), 1.0)
+        # Distinct mtimes so LRU order is unambiguous on coarse clocks.
+        stamp = 1_000_000 + seed
+        os.utime(paths[seed], (stamp, stamp))
+        if seed == 2:
+            # Touch seed 1 (a hit refreshes recency): seed 2 becomes LRU.
+            assert cache.get(JobSpec.make("fig04", seed=1)) is not None
+            os.utime(paths[1], (1_000_010, 1_000_010))
+    cache._enforce_budget()
+    assert cache.get(JobSpec.make("fig04", seed=1)) is not None
+    assert cache.get(JobSpec.make("fig04", seed=3)) is not None
+    assert cache.get(JobSpec.make("fig04", seed=2)) is None  # evicted LRU
+    assert cache.stats.evictions >= 1
+    assert cache.stats.bytes_evicted > 0
+
+
+def test_budget_never_evicts_the_entry_just_written(tmp_path):
+    cache = ResultCache(tmp_path / "cache", version="0.1.0", max_bytes=1)
+    spec = JobSpec.make("fig04", seed=1)
+    cache.put(spec, sample_table(), 1.0)
+    # A budget smaller than one entry must not eat the freshest result.
+    assert cache.get(spec) is not None
+
+
 def test_tampered_key_is_rejected(tmp_path):
     cache = ResultCache(tmp_path / "cache", version="0.1.0")
     spec = JobSpec.make("fig04", seed=1)

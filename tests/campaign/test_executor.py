@@ -261,3 +261,62 @@ def test_outcome_dataclass_flags():
     assert ok.ok and not bad.ok
     empty = CampaignResult()
     assert empty.ok and empty.failures() == []
+
+
+# ----------------------------------------------------------------------
+# Non-main-thread execution (the campaign server runs jobs on threads).
+
+
+def test_timeout_path_survives_worker_threads():
+    """Regression: ``signal.signal``/``setitimer`` raise ``ValueError``
+    off the main thread.  A thread-spawned runner with a timeout set
+    must fall back to the no-alarm path instead of crashing."""
+    import threading
+
+    from repro.campaign.executor import _execute_with_timeout
+
+    spec = JobSpec.make("a", 1)
+    results = {}
+
+    def in_thread():
+        try:
+            results["table"] = _execute_with_timeout(
+                fake_runner, spec, timeout_s=5.0
+            )
+        except BaseException as exc:  # noqa: BLE001 - recording for assert
+            results["error"] = exc
+
+    thread = threading.Thread(target=in_thread)
+    thread.start()
+    thread.join(10)
+    assert "error" not in results, f"thread crashed: {results['error']!r}"
+    assert results["table"].to_json() == fake_runner(spec).to_json()
+
+
+def test_whole_campaign_runs_inside_a_thread():
+    """The server drives ``execute_payload`` from executor threads; an
+    entire inline campaign with a timeout must work there too."""
+    import threading
+
+    results = {}
+
+    def in_thread():
+        try:
+            results["result"] = run_campaign(
+                specs(("a", 1), ("b", 1)), cache=False,
+                runner=fake_runner, timeout_s=5.0,
+            )
+        except BaseException as exc:  # noqa: BLE001
+            results["error"] = exc
+
+    thread = threading.Thread(target=in_thread)
+    thread.start()
+    thread.join(30)
+    assert "error" not in results, f"thread crashed: {results['error']!r}"
+    assert results["result"].ok
+    # ...and the tables match the main-thread run byte for byte.
+    main = run_campaign(specs(("a", 1), ("b", 1)), cache=False,
+                        runner=fake_runner)
+    for key in ("a", "b"):
+        assert (results["result"].outcome(key, 1).table.to_json()
+                == main.outcome(key, 1).table.to_json())

@@ -1,6 +1,7 @@
 """Tests for campaign counters and the live progress printer."""
 
 import io
+import time
 
 from repro.campaign.progress import CampaignStats, ProgressPrinter
 
@@ -20,6 +21,34 @@ def test_stats_record_and_counters():
     assert stats.retries == 1
     assert stats.job_elapsed_s[("a", 1)] == 1.5
     assert stats.elapsed_s() >= 0.0
+
+
+def test_elapsed_survives_wall_clock_step_backwards(monkeypatch):
+    """Regression: a long-running server must not report negative elapsed.
+
+    ``elapsed_s`` used to be ``time.time() - started_at``; an NTP step
+    (wall clock jumping backwards mid-campaign) produced negative or
+    absurd durations.  It now runs on the monotonic clock, which by
+    definition cannot step.
+    """
+    stats = CampaignStats(total=1)
+    # Simulate the wall clock stepping 1 hour into the past after the
+    # campaign started: monotonic-based elapsed must not care.
+    monkeypatch.setattr(time, "time", lambda: stats.started_at - 3600.0)
+    elapsed = stats.elapsed_s()
+    assert elapsed >= 0.0
+    assert elapsed < 60.0  # and not "an hour ago" in either direction
+    # The wall-clock submission stamp itself is untouched (cache payloads
+    # and logs still carry real points in time).
+    assert stats.started_at > 1_000_000_000.0
+
+
+def test_elapsed_tracks_monotonic_clock(monkeypatch):
+    stats = CampaignStats(total=1)
+    base = stats.started_monotonic
+    monkeypatch.setattr(time, "monotonic", lambda: base + 12.5)
+    assert abs(stats.elapsed_s() - 12.5) < 1e-9
+    assert "12.5s" in stats.summary_line()
 
 
 def test_summary_line_mentions_everything():

@@ -1,0 +1,99 @@
+"""Tests for the persistent sharded campaign queue journal."""
+
+import json
+
+from repro.campaign.queue import CampaignQueue
+
+
+PAYLOAD = {"ids": ["fig04"], "seeds": [1, 2], "fast": True}
+
+
+def test_submit_job_done_lifecycle(tmp_path):
+    queue = CampaignQueue(tmp_path / "queue")
+    queue.record_submit("c0001-abc", PAYLOAD)
+    queue.record_job("c0001-abc", "fig04", 1, ok=True, elapsed_s=1.5)
+    queue.record_job("c0001-abc", "fig04", 2, ok=False)
+    campaigns = queue.replay()
+    assert set(campaigns) == {"c0001-abc"}
+    state = campaigns["c0001-abc"]
+    assert state.payload == PAYLOAD
+    assert state.completed == [("fig04", 1)]
+    assert state.failed == [("fig04", 2)]
+    assert not state.done
+    assert queue.recover()[0].campaign_id == "c0001-abc"
+
+    queue.record_done("c0001-abc")
+    assert queue.recover() == []
+    assert queue.replay()["c0001-abc"].done
+
+
+def test_recover_survives_truncated_trailing_line(tmp_path):
+    """A crash mid-append leaves a torn last line; replay must skip it
+    and keep every acknowledged record."""
+    queue = CampaignQueue(tmp_path / "queue", shards=1)
+    queue.record_submit("c0001-abc", PAYLOAD)
+    queue.record_job("c0001-abc", "fig04", 1, ok=True)
+    path = queue.shard_path("c0001-abc")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"op": "job", "id": "c0001-abc", "exh')  # torn
+    recovered = queue.recover()
+    assert len(recovered) == 1
+    assert recovered[0].completed == [("fig04", 1)]
+
+
+def test_sharding_spreads_and_isolates_campaigns(tmp_path):
+    queue = CampaignQueue(tmp_path / "queue", shards=4)
+    ids = [f"c{i:04d}-{i:08x}" for i in range(32)]
+    for cid in ids:
+        queue.record_submit(cid, PAYLOAD)
+    shards = queue.shard_paths()
+    assert 1 < len(shards) <= 4  # crc32 spread across files
+    # a corrupted shard only loses its own campaigns
+    shards[0].write_bytes(b"\x00garbage\xff\nnot json either\n")
+    survivors = {q.campaign_id for q in queue.recover()}
+    lost = {cid for cid in ids if queue.shard_path(cid) == shards[0]}
+    assert survivors == set(ids) - lost
+    assert lost and survivors
+
+
+def test_compact_drops_finished_campaigns(tmp_path):
+    queue = CampaignQueue(tmp_path / "queue", shards=2)
+    for index in range(4):
+        cid = f"c{index:04d}-deadbeef"
+        queue.record_submit(cid, PAYLOAD)
+        queue.record_job(cid, "fig04", 1, ok=True)
+        if index % 2 == 0:
+            queue.record_done(cid)
+    kept = queue.compact()
+    # only the two unfinished campaigns remain (submit + job lines each)
+    assert kept == 4
+    outstanding = {q.campaign_id for q in queue.recover()}
+    assert outstanding == {"c0001-deadbeef", "c0003-deadbeef"}
+    # journal files shrank to exactly the kept lines
+    total_lines = sum(
+        len(path.read_text().splitlines()) for path in queue.shard_paths()
+    )
+    assert total_lines == kept
+
+
+def test_status_reports_outstanding(tmp_path):
+    queue = CampaignQueue(tmp_path / "queue")
+    assert queue.status()["campaigns"] == 0
+    queue.record_submit("c0001-abc", PAYLOAD)
+    queue.record_submit("c0002-def", PAYLOAD)
+    queue.record_done("c0002-def")
+    status = queue.status()
+    assert status["campaigns"] == 2
+    assert status["outstanding"] == 1
+    assert status["outstanding_ids"] == ["c0001-abc"]
+
+
+def test_journal_lines_are_canonical_json(tmp_path):
+    queue = CampaignQueue(tmp_path / "queue", shards=1)
+    queue.record_submit("c0001-abc", PAYLOAD)
+    queue.record_job("c0001-abc", "fig04", 1, ok=True, from_cache=True,
+                     elapsed_s=0.25)
+    lines = queue.shard_path("c0001-abc").read_text().splitlines()
+    assert [json.loads(line)["op"] for line in lines] == ["submit", "job"]
+    job = json.loads(lines[1])
+    assert job["from_cache"] is True and job["elapsed_s"] == 0.25
