@@ -30,7 +30,7 @@ from . import check, core, dot11, experiments, mac, net, obs, phy, sim
 # cache.  Exhibit physics are untouched, but the bump keeps pre-server
 # cache inventories (no mtime-based LRU recency, no recorded-miss
 # eviction counters) from mixing with entries the server now manages.
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 from . import campaign, perf  # noqa: E402  (the cache keys on __version__)
 

@@ -266,6 +266,7 @@ def _cmd_perf_profile(args) -> int:
                 top=args.top,
                 sort=args.sort,
                 out=args.out,
+                json_out=args.json,
             )
         else:
             report = profile_exhibit(
@@ -275,6 +276,7 @@ def _cmd_perf_profile(args) -> int:
                 top=args.top,
                 sort=args.sort,
                 out=args.out,
+                json_out=args.json,
             )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -285,7 +287,7 @@ def _cmd_perf_profile(args) -> int:
 
 def _cmd_perf_bench(args) -> int:
     from .perf import check_against_baseline, load_baseline, run_bench_suite
-    from .perf.bench import write_baseline
+    from .perf.bench import compare_against_baseline, write_baseline
 
     baseline = None
     if args.check:
@@ -296,8 +298,22 @@ def _cmd_perf_bench(args) -> int:
         except FileNotFoundError:
             print(f"baseline {args.check!r} not found", file=sys.stderr)
             return 2
+    compare_to = None
+    if args.compare:
+        try:
+            compare_to = load_baseline(args.compare)
+        except FileNotFoundError:
+            print(f"baseline {args.compare!r} not found", file=sys.stderr)
+            return 2
     print(f"kernel benchmark suite ({'quick' if args.quick else 'full'} profile)")
-    doc = run_bench_suite(quick=args.quick)
+    try:
+        doc = run_bench_suite(quick=args.quick, only=args.only)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if compare_to is not None:
+        print(f"per-bench deltas vs {args.compare}:")
+        compare_against_baseline(doc, compare_to)
     if baseline is not None:
         ok = check_against_baseline(doc, baseline, tolerance=args.tolerance)
         if not ok:
@@ -325,6 +341,7 @@ def _cmd_check_diff(args) -> int:
             seed=args.seed,
             fast=args.fast,
             invariants=not args.no_invariants,
+            band_sharding=args.band_sharding,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -527,6 +544,9 @@ def main(argv=None) -> int:
                            default="tottime")
     p_profile.add_argument("--out", default=None,
                            help="also dump raw pstats to this path")
+    p_profile.add_argument("--json", default=None, metavar="PATH",
+                           help="also write a structured top-N snapshot "
+                                "(diffable across PRs) to this path")
     p_profile.set_defaults(func=_cmd_perf_profile)
 
     p_bench = perf_sub.add_parser(
@@ -543,6 +563,12 @@ def main(argv=None) -> int:
     p_bench.add_argument("--tolerance", type=float, default=0.25,
                          help="allowed fractional wall-time regression "
                               "(default 0.25)")
+    p_bench.add_argument("--only", nargs="+", default=None, metavar="BENCH",
+                         help="run only the named benches (overrides the "
+                              "quick gating; e.g. --only mini_run_50k_smoke)")
+    p_bench.add_argument("--compare", default=None, metavar="PATH",
+                         help="print per-bench normalised deltas against "
+                              "this baseline JSON (informational, no gate)")
     p_bench.set_defaults(func=_cmd_perf_bench)
 
     check_parser = sub.add_parser(
@@ -561,6 +587,10 @@ def main(argv=None) -> int:
     k_diff.add_argument("--no-invariants", action="store_true",
                         help="skip runtime invariant checking during the "
                              "two runs")
+    k_diff.add_argument("--band-sharding", action="store_true",
+                        help="enable band-sharded fan-out on the fast leg "
+                             "(gates the sharded configuration against "
+                             "the scalar reference)")
     k_diff.set_defaults(func=_cmd_check_diff)
 
     k_det = check_sub.add_parser(

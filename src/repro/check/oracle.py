@@ -111,18 +111,22 @@ def run_traced(
     *,
     reference: bool = False,
     checker: Optional[InvariantChecker] = None,
+    band_sharding: bool = False,
 ) -> Tuple[Any, List[Any]]:
     """Run one registered exhibit inside an instrumented session.
 
     Returns ``(table, traces)`` where ``traces`` are the per-deployment
     :class:`~repro.sim.trace.Trace` objects in construction order.
+    ``band_sharding`` is ignored on reference runs (the reference leg is
+    always the plain scalar path).
     """
     from ..experiments.registry import get
     from ..phy.frame import reset_frame_ids
 
     experiment = get(exhibit_id)
     session = CheckSession(
-        reference=reference, capture_traces=True, checker=checker
+        reference=reference, capture_traces=True, checker=checker,
+        band_sharding=band_sharding,
     )
     # Frame ids come from a process-global counter and exist only to
     # correlate trace records; restart it so both oracle legs allocate
@@ -179,19 +183,22 @@ def diff_exhibit(
     *,
     invariants: bool = True,
     check_config: Optional[CheckConfig] = None,
+    band_sharding: bool = False,
 ) -> DiffReport:
     """Run the differential oracle on one exhibit.
 
     Raises :class:`~repro.check.invariants.InvariantViolation` if either
     run breaks a runtime invariant (when ``invariants`` is on); returns
     a :class:`DiffReport` whose ``ok`` reflects trace and table
-    equality.
+    equality.  ``band_sharding`` applies to the fast leg only, so the
+    sharded configuration is gated against the scalar reference.
     """
     fast_checker = InvariantChecker(check_config) if invariants else None
     ref_checker = InvariantChecker(check_config) if invariants else None
 
     fast_table, fast_traces = run_traced(
-        exhibit_id, seed, fast, reference=False, checker=fast_checker
+        exhibit_id, seed, fast, reference=False, checker=fast_checker,
+        band_sharding=band_sharding,
     )
     ref_table, ref_traces = run_traced(
         exhibit_id, seed, fast, reference=True, checker=ref_checker

@@ -159,6 +159,7 @@ def large_scene(
     area_m2_per_mote: float = 20.0,
     vectorized: Optional[bool] = None,
     band_sharding: bool = False,
+    sharded_scheduler: Optional[bool] = None,
 ) -> Deployment:
     """A synthetic dense deployment for benchmarking and profiling.
 
@@ -182,6 +183,7 @@ def large_scene(
         seed=seed,
         vectorized=vectorized,
         band_sharding=band_sharding,
+        sharded_scheduler=sharded_scheduler,
     )
 
 

@@ -96,7 +96,15 @@ class Deployment:
         ``False`` forces the scalar cache.
     band_sharding:
         Opt-in cross-band fan-out culling for large multi-band scenes
-        (approximate; see ``Medium``).  Default off.
+        (approximate; see ``Medium``).  Default off.  An active
+        non-reference :class:`~repro.check.runtime.CheckSession` with
+        ``band_sharding=True`` turns it on (so ``check diff`` can gate
+        the sharded configuration).
+    sharded_scheduler:
+        Band-partitioned event scheduling + batched accumulator updates
+        (bit-exact; see ``Medium``).  ``None`` (the default) follows the
+        medium's own default — on whenever the vectorized cache is
+        active, hence automatically *off* on the reference leg.
     obs:
         Optional :class:`~repro.obs.recorder.Observability` telemetry
         recorder handed to the simulator.  ``None`` (the default) means
@@ -137,6 +145,7 @@ class Deployment:
         link_cache: Optional[bool] = None,
         vectorized: Optional[bool] = None,
         band_sharding: bool = False,
+        sharded_scheduler: Optional[bool] = None,
         obs=None,
     ) -> None:
         from ..check.runtime import active_session
@@ -159,6 +168,8 @@ class Deployment:
                 link_cache = not session.reference
             reference_accumulators = session.reference
             checks = session.checker
+            if session.band_sharding and not session.reference:
+                band_sharding = True
         if link_cache is None:
             link_cache = True
         if vectorized is None:
@@ -185,6 +196,7 @@ class Deployment:
             reference_accumulators=reference_accumulators,
             vectorized=vectorized,
             band_sharding=band_sharding,
+            sharded_scheduler=sharded_scheduler,
         )
         self.networks: List[Network] = []
         self.nodes: Dict[str, Node] = {}

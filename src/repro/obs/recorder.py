@@ -95,6 +95,15 @@ class Observability:
             )
         self.sim = sim
         self.start_time = sim.now
+        # Scheduler health gauges: live (non-cancelled) events across the
+        # main heap plus all band shards, and the cumulative compaction
+        # count.  Both read EventQueue bookkeeping that is maintained
+        # whether or not band sharding is active.
+        queue = sim.event_queue
+        self.registry.gauge("event_queue.live",
+                            lambda q=queue: float(q.live))
+        self.registry.gauge("event_queue.compactions",
+                            lambda q=queue: float(q.compactions))
         if self.sample_interval_s is not None:
             sim.schedule(self.sample_interval_s, self._tick, tag="obs.sample")
 

@@ -8,16 +8,19 @@ Keeps the "where does the time go" loop to a single command::
 
 The profile is printed as the top-N hotspots by ``tottime`` (default) or
 ``cumtime``; ``--out`` additionally dumps the raw stats for ``snakeviz``
-or ``pstats`` post-processing.  ``--scene N`` profiles a synthetic
-``N``-mote dense deployment (:func:`repro.experiments.scenarios.
-large_scene`) instead of a registered exhibit, so profiling the fan-out
-path at scale doesn't require hand-writing a world.
+or ``pstats`` post-processing, and ``--json`` writes a structured
+snapshot (sorted by the same key, one record per function) so profiles
+can be diffed across PRs with plain text tools.  ``--scene N`` profiles
+a synthetic ``N``-mote dense deployment (:func:`repro.experiments.
+scenarios.large_scene`) instead of a registered exhibit, so profiling
+the fan-out path at scale doesn't require hand-writing a world.
 """
 
 from __future__ import annotations
 
 import cProfile
 import io
+import json
 import pstats
 from typing import Callable, Optional
 
@@ -33,6 +36,7 @@ def profile_exhibit(
     top: int = 20,
     sort: str = "tottime",
     out: Optional[str] = None,
+    json_out: Optional[str] = None,
 ) -> str:
     """Run ``exhibit_id`` under cProfile, return the formatted hotspot table.
 
@@ -43,7 +47,8 @@ def profile_exhibit(
 
     experiment = get(exhibit_id)
     return _profile(
-        lambda: experiment.run(seed=seed, fast=fast), top=top, sort=sort, out=out
+        lambda: experiment.run(seed=seed, fast=fast),
+        top=top, sort=sort, out=out, json_out=json_out,
     )
 
 
@@ -54,6 +59,7 @@ def profile_scene(
     top: int = 20,
     sort: str = "tottime",
     out: Optional[str] = None,
+    json_out: Optional[str] = None,
 ) -> str:
     """Profile ``sim_s`` seconds of a synthetic ``n_motes``-mote scene.
 
@@ -67,8 +73,42 @@ def profile_scene(
     deployment = large_scene(n_motes, seed=seed)
     deployment.start_traffic()
     return _profile(
-        lambda: deployment.sim.run(sim_s), top=top, sort=sort, out=out
+        lambda: deployment.sim.run(sim_s),
+        top=top, sort=sort, out=out, json_out=json_out,
     )
+
+
+def _json_snapshot(stats: pstats.Stats, sort: str, top: int) -> dict:
+    """Structured top-``top`` hotspot records from collected stats.
+
+    Functions are identified by ``file:line(name)`` strings and costs are
+    rounded to the microsecond, so two snapshots of the same workload
+    diff cleanly even across absolute-path or timing noise.
+    """
+    sort_index = {"ncalls": 1, "tottime": 2, "cumtime": 3}[sort]
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append((func, nc, tt, ct))
+    rows.sort(key=lambda row: row[sort_index], reverse=True)
+    records = []
+    for func, nc, tt, ct in rows[:top]:
+        filename, line, name = func
+        records.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return {
+        "schema": 1,
+        "sort": sort,
+        "top": top,
+        "total_time_s": round(stats.total_tt, 6),
+        "total_calls": stats.total_calls,
+        "functions": records,
+    }
 
 
 def _profile(
@@ -76,6 +116,7 @@ def _profile(
     top: int,
     sort: str,
     out: Optional[str],
+    json_out: Optional[str] = None,
 ) -> str:
     if sort not in _SORT_KEYS:
         raise ValueError(f"sort must be one of {sorted(_SORT_KEYS)}, got {sort!r}")
@@ -89,5 +130,9 @@ def _profile(
         profiler.dump_stats(out)
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump(_json_snapshot(stats, sort, top), handle, indent=2)
+            handle.write("\n")
     stats.sort_stats(sort).print_stats(top)
     return buffer.getvalue()

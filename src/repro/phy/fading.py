@@ -73,11 +73,20 @@ class LogNormalFading(FadingModel):
         creating physically absurd link budgets.
     """
 
-    #: Draws fetched from the generator per refill.  A scalar
-    #: ``Generator.normal`` call costs ~2 us of numpy dispatch; batching
-    #: amortises that to ~0.3 us/draw, which matters because fading is
-    #: sampled once per (transmission, audible receiver) pair.
+    #: Largest buffer refill.  A scalar ``Generator.normal`` call costs
+    #: ~2 us of numpy dispatch; batching amortises that to ~0.3 us/draw,
+    #: which matters because fading is sampled once per (transmission,
+    #: audible receiver) pair.
     BUFFER_DRAWS = 128
+
+    #: First refill per stream.  Buffers grow geometrically (×4 per
+    #: refill, capped at :data:`BUFFER_DRAWS`): 50k-mote scenes hold 10^5+
+    #: link streams most of which are sampled a handful of times per run,
+    #: so filling 128 draws up front wastes most of the generator work at
+    #: start-up.  Growth is invisible to fixed-seed reproducibility:
+    #: ``standard_normal(n)`` consumes the bit stream identically
+    #: regardless of how the n draws are chunked (pinned by tests).
+    BUFFER_DRAWS_INITIAL = 8
 
     def __init__(self, sigma_db: float = 4.0, clip_db: float = 12.0) -> None:
         if sigma_db < 0:
@@ -86,10 +95,26 @@ class LogNormalFading(FadingModel):
             raise ValueError(f"clip_db must be > 0, got {clip_db}")
         self.sigma_db = sigma_db
         self.clip_db = clip_db
-        #: Per-generator draw buffers: ``id(rng) -> [rng, draws, index]``.
-        #: The generator reference is stored in the value so the id can
-        #: never be recycled while its buffer is alive.
+        #: Per-generator draw buffers: ``id(rng) -> [rng, draws, index,
+        #: capacity]``.  The generator reference is stored in the value so
+        #: the id can never be recycled while its buffer is alive.
         self._buffers: dict = {}
+
+    def _refill(self, rng: np.random.Generator, entry) -> list:
+        """(Re)fill a stream's buffer, growing its capacity geometrically."""
+        if entry is None:
+            capacity = self.BUFFER_DRAWS_INITIAL
+            entry = [rng, None, 0, capacity]
+            self._buffers[id(rng)] = entry
+        else:
+            capacity = entry[3] * 4
+            if capacity > self.BUFFER_DRAWS:
+                capacity = self.BUFFER_DRAWS
+            entry[3] = capacity
+        draws = (rng.standard_normal(capacity) * self.sigma_db).tolist()
+        entry[1] = draws
+        entry[2] = 0
+        return entry
 
     def sample_db(self, rng: np.random.Generator) -> float:
         if self.sigma_db == 0.0:
@@ -102,10 +127,8 @@ class LogNormalFading(FadingModel):
         # is drawn from *only* through this model, so read-ahead cannot
         # interleave with other consumers.
         entry = self._buffers.get(id(rng))
-        if entry is None or entry[2] >= self.BUFFER_DRAWS:
-            draws = (rng.standard_normal(self.BUFFER_DRAWS) * self.sigma_db).tolist()
-            entry = [rng, draws, 0]
-            self._buffers[id(rng)] = entry
+        if entry is None or entry[2] >= entry[3]:
+            entry = self._refill(rng, entry)
         index = entry[2]
         draw = entry[1][index]
         entry[2] = index + 1
@@ -128,18 +151,15 @@ class LogNormalFading(FadingModel):
         if self.sigma_db == 0.0:
             return [0.0] * len(rngs)
         buffers = self._buffers
-        sigma = self.sigma_db
+        refill = self._refill
         clip = self.clip_db
         neg_clip = -clip
-        n_buffer = self.BUFFER_DRAWS
         out = []
         append = out.append
         for rng in rngs:
             entry = buffers.get(id(rng))
-            if entry is None or entry[2] >= n_buffer:
-                draws = (rng.standard_normal(n_buffer) * sigma).tolist()
-                entry = [rng, draws, 0]
-                buffers[id(rng)] = entry
+            if entry is None or entry[2] >= entry[3]:
+                entry = refill(rng, entry)
             index = entry[2]
             draw = entry[1][index]
             entry[2] = index + 1

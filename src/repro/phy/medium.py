@@ -40,7 +40,9 @@ consecutively, so batching preserves the total order).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..sim.rng import RngStreams
 from ..sim.simulator import Simulator
@@ -49,8 +51,6 @@ from .frame import Frame
 from .propagation import PathLossModel
 
 if TYPE_CHECKING:  # pragma: no cover
-    import numpy as np
-
     from .radio import Radio
 
 __all__ = [
@@ -259,6 +259,20 @@ class Medium:
         contributions (>=60 dB under the noise floor) are dropped, which
         is not guaranteed bit-exact for every workload — hence off by
         default.  Requires ``vectorized=True``.
+    sharded_scheduler:
+        The 50k-mote fast path (DESIGN.md §15), two coupled pieces: band
+        sub-heaps on the event queue (each radio's timers and each
+        transmission's end events land in a per-frequency-band shard,
+        isolating CSMA churn and compaction per band) and the *batched*
+        delivery loop (per-receiver accumulator updates driven by
+        precomputed :class:`~repro.phy.vectorized.FanoutBatch` columns
+        instead of per-signal ``Radio._add_signal`` dispatch).  Both are
+        bit-exact: shard placement never reorders dispatch (the
+        ``(time, priority, seq)`` key stays a global total order) and the
+        batched loop performs float-for-float the same operations as the
+        scalar path (gated by ``repro check diff`` and whole-scene
+        property tests).  ``None`` (the default) resolves to
+        ``vectorized``; requires ``vectorized=True`` when forced on.
     """
 
     def __init__(
@@ -272,6 +286,7 @@ class Medium:
         reference_accumulators: bool = False,
         vectorized: bool = True,
         band_sharding: bool = False,
+        sharded_scheduler: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.path_loss = path_loss
@@ -297,6 +312,16 @@ class Medium:
                 "(vectorized=True, link_cache=True)"
             )
         self.band_sharding = bool(band_sharding)
+        if sharded_scheduler is None:
+            sharded_scheduler = self.vectorized
+        elif sharded_scheduler and not self.vectorized:
+            raise ValueError(
+                "sharded_scheduler requires the vectorized link cache "
+                "(vectorized=True, link_cache=True)"
+            )
+        self.sharded_scheduler = bool(sharded_scheduler)
+        #: channel_mhz -> event-queue shard index (lazily registered).
+        self._band_shards: Dict[float, int] = {}
         self._link_streams: Dict[Tuple[int, int], "np.random.Generator"] = {}
 
     # ------------------------------------------------------------------
@@ -307,6 +332,8 @@ class Medium:
         self._radio_ids.add(id(radio))
         self._radios.append(radio)
         self._radios_snapshot = None
+        if self.sharded_scheduler:
+            radio.event_shard = self._band_shard(radio.channel_mhz)
         if self._gain_cache is not None:
             # The new radio may be audible to already-cached sources:
             # fold it into each cached set in place (bit-identical to a
@@ -321,6 +348,14 @@ class Medium:
         if snapshot is None:
             snapshot = self._radios_snapshot = tuple(self._radios)
         return snapshot
+
+    def _band_shard(self, channel_mhz: float) -> int:
+        """Event-queue shard for a frequency band (registered lazily)."""
+        shard = self._band_shards.get(channel_mhz)
+        if shard is None:
+            shard = self.sim.add_event_shard()
+            self._band_shards[channel_mhz] = shard
+        return shard
 
     def invalidate_link_cache(self) -> None:
         """Drop cached link budgets after a radio position change."""
@@ -342,6 +377,35 @@ class Medium:
             stream = self.rng.stream(f"fading.{source.name}.{receiver.name}")
             self._link_streams[key] = stream
         return stream
+
+    def link_fading_streams(
+        self, source: "Radio", receivers: Sequence["Radio"]
+    ) -> List["np.random.Generator"]:
+        """Per-link fading streams for ``source`` → each of ``receivers``.
+
+        Same streams (same cache, same ``fading.{src}.{dst}`` names) as
+        :meth:`link_fading_stream`, with the misses created through the
+        batched :meth:`~repro.sim.rng.RngStreams.stream_many` derivation
+        — one vectorized seed computation for the whole fanout instead of
+        ~20 µs of ``SeedSequence`` machinery per link.
+        """
+        link_streams = self._link_streams
+        source_id = id(source)
+        missing = [
+            receiver
+            for receiver in receivers
+            if (source_id, id(receiver)) not in link_streams
+        ]
+        if missing:
+            prefix = f"fading.{source.name}."
+            streams = self.rng.stream_many(
+                [prefix + receiver.name for receiver in missing]
+            )
+            for receiver, stream in zip(missing, streams):
+                link_streams[(source_id, id(receiver))] = stream
+        return [
+            link_streams[(source_id, id(receiver))] for receiver in receivers
+        ]
 
     # ------------------------------------------------------------------
     def _audible_entries(
@@ -403,7 +467,70 @@ class Medium:
         fading = self.fading
         delivered: List[Tuple["Radio", Signal]] = []
         vec = self._vec_cache
-        if vec is not None:
+        if vec is not None and self.sharded_scheduler:
+            # Batched delivery (DESIGN.md §15): one vector add for the
+            # per-packet RSS column, then a tight loop over the survivors
+            # that inlines Radio.on_signal_start/_add_signal against the
+            # FanoutBatch's precomputed gain columns.  Every float
+            # operation (mean+draw add, floor compare, 10**(rss/10),
+            # gain multiplies, sense-sum accumulation) mirrors the scalar
+            # path operand-for-operand, so accumulator bits and traces
+            # are identical — gated by `repro check diff` and the
+            # whole-scene sharded-vs-unsharded property test.
+            batch = vec.fanout_batch(source, tx_power_dbm, channel_mhz)
+            radios = batch.radios
+            if radios:
+                draws = fading.sample_db_many(batch.streams)
+                rss_arr = batch.means + np.asarray(draws)
+                keep = rss_arr >= floor
+                if keep.all():
+                    indices = range(len(radios))
+                else:
+                    indices = np.nonzero(keep)[0].tolist()
+                rss_values = rss_arr.tolist()
+                decode_gains = batch.decode_gains
+                sense_gains = batch.sense_gains
+                co_channel = batch.co_channel
+                inline = batch.inline
+                checks = sim.checks
+                append = delivered.append
+                for i in indices:
+                    radio = radios[i]
+                    rss = rss_values[i]
+                    if not inline[i]:
+                        # Subclass with custom lock semantics: deliver
+                        # through its own on_signal_start, exactly as the
+                        # unsharded list path does.
+                        signal = Signal(transmission, rss)
+                        radio.on_signal_start(signal)
+                        append((radio, signal))
+                        continue
+                    signal = Signal.__new__(Signal)
+                    signal.transmission = transmission
+                    signal.rx_power_dbm = rss
+                    mw = 10.0 ** (rss / 10.0)
+                    signal.rx_power_mw = mw
+                    signal.channel_mhz = channel_mhz
+                    signal.decode_mw = mw * decode_gains[i]
+                    sense_mw = mw * sense_gains[i]
+                    signal.sense_mw = sense_mw
+                    reception = radio.current_reception
+                    if reception is not None:
+                        # Close the elapsed segment under the old
+                        # interference set before this signal counts.
+                        reception.on_interference_change()
+                    radio.active_signals.append(signal)
+                    sense_sum = radio._sense_sum_mw + sense_mw
+                    radio._sense_sum_mw = sense_sum
+                    radio._sense_history.append(
+                        (now, radio._noise_mw + sense_sum)
+                    )
+                    if checks is not None:
+                        checks.on_accumulator_update(radio)
+                    if reception is None and co_channel[i]:
+                        radio._maybe_lock(signal)
+                    append((radio, signal))
+        elif vec is not None:
             # Batched fan-out: parallel (radios, means, streams) lists and
             # one sample_db_many call per transmission.  Draw values, draw
             # order per stream, delivery order and float operations are
@@ -443,13 +570,18 @@ class Medium:
                 for radio, signal in delivered:
                     radio.on_signal_end(signal)
 
+            # Band-local events ride the source's band shard (None: main
+            # heap).  Placement never affects dispatch order — see
+            # repro.sim.events — it only isolates per-band heap churn.
             sim.schedule(
-                airtime, _end_all, priority=PRIORITY_SIGNAL_END, tag="signal_end"
+                airtime, _end_all, priority=PRIORITY_SIGNAL_END,
+                tag="signal_end", shard=source.event_shard,
             )
         sim.schedule(
             airtime,
             lambda: on_complete(transmission),
             priority=PRIORITY_SIGNAL_END + 1,
             tag="tx_end",
+            shard=source.event_shard,
         )
         return transmission

@@ -136,6 +136,11 @@ class Radio:
         #: The sim's trace sink is fixed at construction; caching the
         #: object saves two attribute hops per delivered signal.
         self._trace = sim.trace
+        #: Band sub-heap index for this radio's timers and signal events
+        #: (``None``: the main event heap).  Assigned by the medium during
+        #: registration when the sharded scheduler is enabled; MAC layers
+        #: pass it as ``shard=`` when scheduling band-local events.
+        self.event_shard: Optional[int] = None
         medium.register(self)
         if sim.obs is not None:
             sim.obs.register_radio(self)
@@ -386,10 +391,22 @@ class Radio:
             self._add_signal(signal)
             return
         self._add_signal(signal)
-        if self.state is not RadioState.IDLE:
-            return
         offset = signal.channel_mhz - self.channel_mhz
         if (offset if offset >= 0.0 else -offset) > self._co_channel_tolerance_mhz:
+            return
+        self._maybe_lock(signal)
+
+    def _maybe_lock(self, signal: Signal) -> None:
+        """Lock ladder for a just-added co-channel signal.
+
+        Factored out of :meth:`on_signal_start` so the medium's batched
+        delivery loop (which precomputes the co-channel test per fanout
+        entry) can reuse it.  The state/sensitivity/SINR checks are pure
+        predicates with no observable effects before the first trace emit,
+        so evaluating the channel-offset test ahead of them — as both call
+        sites do — leaves traces untouched.
+        """
+        if self.state is not RadioState.IDLE:
             return
         if signal.rx_power_dbm < self._sensitivity_dbm:
             return

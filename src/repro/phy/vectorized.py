@@ -50,7 +50,12 @@ from .medium import AudibleEntry, LinkGainCache
 if TYPE_CHECKING:  # pragma: no cover
     from .radio import Radio
 
-__all__ = ["RadioArrays", "VectorizedLinkCache", "PRESELECT_GUARD_DB"]
+__all__ = [
+    "RadioArrays",
+    "VectorizedLinkCache",
+    "FanoutBatch",
+    "PRESELECT_GUARD_DB",
+]
 
 #: Guard band (dB) subtracted from the cull floor during batched
 #: preselection.  SIMD-vs-libm rounding differences are a few ulp
@@ -60,6 +65,50 @@ PRESELECT_GUARD_DB = 1e-6
 
 #: Parallel fanout lists: (receivers, mean RSS values, fading streams).
 FanoutLists = Tuple[List["Radio"], List[float], List[object]]
+
+
+class FanoutBatch:
+    """Per-(source, tx power, channel) precomputed delivery columns.
+
+    Everything the batched delivery loop in ``Medium.begin_transmission``
+    needs per fanout entry, gathered once and reused for every frame:
+
+    - ``means`` as a float64 array so the per-packet RSS (`mean + draw`)
+      computes in one vector add (IEEE elementwise add — bit-identical to
+      the scalar sums);
+    - ``decode_gains`` / ``sense_gains`` pulled from each receiver's own
+      ``_gains_for`` memo, so batched accumulator updates multiply the
+      exact floats the scalar ``Radio._add_signal`` would use;
+    - ``co_channel`` flags precomputing the lock-eligibility offset test;
+    - ``inline`` flags marking receivers whose class uses the base
+      ``Radio.on_signal_start`` — only those may take the inlined
+      delivery loop; subclasses with custom lock semantics (e.g. the
+      false-locking 802.11b radio) are dispatched through their own
+      ``on_signal_start`` override.
+    """
+
+    __slots__ = (
+        "radios", "streams", "means", "decode_gains", "sense_gains",
+        "co_channel", "inline",
+    )
+
+    def __init__(
+        self,
+        radios: List["Radio"],
+        streams: List[object],
+        means: np.ndarray,
+        decode_gains: List[float],
+        sense_gains: List[float],
+        co_channel: List[bool],
+        inline: List[bool],
+    ) -> None:
+        self.radios = radios
+        self.streams = streams
+        self.means = means
+        self.decode_gains = decode_gains
+        self.sense_gains = sense_gains
+        self.co_channel = co_channel
+        self.inline = inline
 
 
 class RadioArrays:
@@ -126,7 +175,7 @@ class VectorizedLinkCache(LinkGainCache):
     samples per transmission through one ``sample_db_many`` call.
     """
 
-    __slots__ = ("arrays", "_lists", "_sharded")
+    __slots__ = ("arrays", "_lists", "_sharded", "_batches")
 
     def __init__(self, medium) -> None:
         super().__init__(medium)
@@ -135,6 +184,8 @@ class VectorizedLinkCache(LinkGainCache):
         self._lists: Dict[Tuple[int, float], FanoutLists] = {}
         #: (key..., channel) -> band-shard filtered parallel lists.
         self._sharded: Dict[Tuple[int, float, float], FanoutLists] = {}
+        #: (key..., channel) -> delivery columns for the batched loop.
+        self._batches: Dict[Tuple[int, float, float], FanoutBatch] = {}
 
     # -- registry maintenance ------------------------------------------
     def register_radio(self, radio: "Radio") -> None:
@@ -144,11 +195,13 @@ class VectorizedLinkCache(LinkGainCache):
         # no model calls involved.
         self._lists.clear()
         self._sharded.clear()
+        self._batches.clear()
 
     def invalidate(self) -> None:
         super().invalidate()
         self._lists.clear()
         self._sharded.clear()
+        self._batches.clear()
         self.arrays.refresh()
 
     # -- batched build --------------------------------------------------
@@ -170,8 +223,8 @@ class VectorizedLinkCache(LinkGainCache):
             approx >= (floor - headroom) - PRESELECT_GUARD_DB
         )[0]
         radios = arrays.radios
-        link_fading_stream = medium.link_fading_stream
-        entries: List[AudibleEntry] = []
+        survivors: List["Radio"] = []
+        means: List[float] = []
         for i in candidates:
             radio = radios[i]
             if radio is source:
@@ -183,8 +236,14 @@ class VectorizedLinkCache(LinkGainCache):
             )
             if mean_rss + headroom < floor:
                 continue
-            entries.append((radio, mean_rss, link_fading_stream(source, radio)))
-        return entries
+            survivors.append(radio)
+            means.append(mean_rss)
+        # Batched stream creation: one vectorized seed derivation for all
+        # missing links instead of one SeedSequence each (the dominant
+        # first-transmission cost at 10^5-link scale).  stream_many is
+        # bit-identical to per-name stream() and shares its cache.
+        streams = medium.link_fading_streams(source, survivors)
+        return list(zip(survivors, means, streams))
 
     # -- fanout hot path ------------------------------------------------
     def fanout_lists(self, source: "Radio", tx_power_dbm: float) -> FanoutLists:
@@ -234,3 +293,54 @@ class VectorizedLinkCache(LinkGainCache):
             lists = (kept_r, kept_m, kept_s)
             self._sharded[shard_key] = lists
         return lists
+
+    def fanout_batch(
+        self, source: "Radio", tx_power_dbm: float, channel_mhz: float
+    ) -> FanoutBatch:
+        """Delivery columns for the batched accumulator-update loop.
+
+        Built from :meth:`sharded_fanout_lists` when the medium's band
+        sharding is on, else from :meth:`fanout_lists`; per-receiver gains
+        come from each radio's own ``_gains_for`` memo, so every float the
+        batched loop multiplies is the exact object the scalar
+        ``Radio._add_signal`` path would read.
+        """
+        key = (id(source), tx_power_dbm, channel_mhz)
+        batch = self._batches.get(key)
+        if batch is None:
+            if self._medium.band_sharding:
+                radios, means, streams = self.sharded_fanout_lists(
+                    source, tx_power_dbm, channel_mhz
+                )
+            else:
+                radios, means, streams = self.fanout_lists(source, tx_power_dbm)
+            from .radio import Radio
+
+            base_start = Radio.on_signal_start
+            decode_gains: List[float] = []
+            sense_gains: List[float] = []
+            co_channel: List[bool] = []
+            inline: List[bool] = []
+            for radio in radios:
+                gains = radio._gains_for(channel_mhz)
+                decode_gains.append(gains[0])
+                sense_gains.append(gains[1])
+                offset = channel_mhz - radio.channel_mhz
+                co_channel.append(
+                    (offset if offset >= 0.0 else -offset)
+                    <= radio._co_channel_tolerance_mhz
+                )
+                # Radios overriding on_signal_start (custom lock
+                # semantics) must not take the inlined delivery loop.
+                inline.append(type(radio).on_signal_start is base_start)
+            batch = FanoutBatch(
+                radios,
+                streams,
+                np.array(means, dtype=np.float64),
+                decode_gains,
+                sense_gains,
+                co_channel,
+                inline,
+            )
+            self._batches[key] = batch
+        return batch

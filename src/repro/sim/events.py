@@ -9,18 +9,38 @@ Cancellation is *lazy*: cancelled events stay in the heap but are skipped when
 popped.  This keeps cancellation O(1), which matters because CSMA backoff and
 reception bookkeeping cancel events constantly.  To stop cancelled entries
 from bloating the heap (and taxing every subsequent push/pop with extra
-comparisons), the queue *compacts* itself whenever more than half of a
-non-trivial heap is dead: live events are filtered out and re-heapified,
-which preserves the total ``(time, priority, seq)`` order exactly.
+comparisons), the queue *compacts* itself whenever the dead fraction of a
+non-trivial heap exceeds ``compact_dead_fraction``: live events are filtered
+out and re-heapified, which preserves the total ``(time, priority, seq)``
+order exactly.
+
+Band shards (DESIGN.md §15)
+---------------------------
+For large multi-band scenes the queue can be split into a *lazy k-way
+heap-of-heaps*: :meth:`EventQueue.add_shard` registers an extra sub-heap and
+:meth:`push` accepts a ``shard`` index.  The medium assigns one shard per
+frequency band and routes band-local events (signal ends, CCA/backoff
+timers) into it, keeping the main heap for cross-band and control events.
+
+Sharding never changes dispatch order.  The sequence counter is *global*
+across all heaps, so the ``(time, priority, seq)`` key remains a total
+order over every pending event regardless of which heap holds it; a pop
+selects the minimum across the main head and the k shard heads under
+exactly that order.  What sharding buys is *churn isolation*: each band's
+heavy CSMA cancellation churn lands in its own small heap, so push/pop
+depth and compaction cost scale with the busiest band instead of with the
+whole scene, and one band's dead entries never tax another band's pops.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "EventQueue"]
+
+_INFINITY = float("inf")
 
 
 class Event:
@@ -36,9 +56,16 @@ class Event:
         Zero-argument callable invoked when the event fires.
     tag:
         Optional label used in traces and error messages.
+    shard:
+        Index of the sub-heap holding the event (``-1``: the main heap).
+        Set by :meth:`EventQueue.push`; cancellation bookkeeping needs to
+        know which heap's dead counter to charge.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "tag", "_cancelled", "_fired")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "tag", "shard",
+        "_cancelled", "_fired",
+    )
 
     def __init__(
         self,
@@ -47,12 +74,14 @@ class Event:
         seq: int,
         callback: Callable[[], Any],
         tag: Optional[str] = None,
+        shard: int = -1,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.tag = tag
+        self.shard = shard
         self._cancelled = False
         self._fired = False
 
@@ -81,12 +110,53 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic priority queue of :class:`Event` objects."""
+    """Deterministic priority queue of :class:`Event` objects.
 
-    def __init__(self) -> None:
-        self._heap: list[Event] = []
+    Parameters
+    ----------
+    compact_min_size:
+        Heaps at or below this size are never compacted (the filter pass
+        is not worth it).  Defaults to :data:`COMPACT_MIN_SIZE`.
+    compact_dead_fraction:
+        Compact a heap when more than this fraction of its entries are
+        cancelled.  The 0.5 default suits ordinary runs; high-churn
+        50k-mote scenes may prefer a smaller fraction (compact eagerly,
+        keep pops shallow) or a larger one (compact rarely, tolerate
+        skips).
+    """
+
+    #: Default for ``compact_min_size`` (kept as a class attribute for
+    #: backwards compatibility with callers that read it directly).
+    COMPACT_MIN_SIZE = 64
+
+    def __init__(
+        self,
+        compact_min_size: Optional[int] = None,
+        compact_dead_fraction: float = 0.5,
+    ) -> None:
+        if compact_min_size is None:
+            compact_min_size = self.COMPACT_MIN_SIZE
+        if compact_min_size < 0:
+            raise ValueError(
+                f"compact_min_size must be >= 0, got {compact_min_size}"
+            )
+        if not 0.0 < compact_dead_fraction <= 1.0:
+            raise ValueError(
+                "compact_dead_fraction must be in (0, 1], "
+                f"got {compact_dead_fraction}"
+            )
+        self.compact_min_size = int(compact_min_size)
+        self.compact_dead_fraction = float(compact_dead_fraction)
+        self._heap: List[Event] = []
+        self._shards: List[List[Event]] = []
         self._counter = itertools.count()
         self._live = 0
+        #: Cancelled-but-still-heaped entry counts, per heap; drive the
+        #: compaction trigger without O(n) scans.
+        self._dead_main = 0
+        self._shard_dead: List[int] = []
+        #: Total compaction passes over the queue's lifetime (obs gauge).
+        self.compactions = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -95,46 +165,100 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    @property
+    def live(self) -> int:
+        """Live event count (gauge-friendly alias of ``len``)."""
+        return self._live
+
+    # ------------------------------------------------------------------
+    # Shard management
+    # ------------------------------------------------------------------
+    def add_shard(self) -> int:
+        """Register a new sub-heap and return its shard index.
+
+        Shards are created lazily by the medium (one per frequency band
+        in use) and live for the queue's lifetime.
+        """
+        self._shards.append([])
+        self._shard_dead.append(0)
+        return len(self._shards) - 1
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def push(
         self,
         time: float,
         callback: Callable[[], Any],
         priority: int = 0,
         tag: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> Event:
-        """Schedule ``callback`` at absolute ``time`` and return its handle."""
-        event = Event(time, priority, next(self._counter), callback, tag)
-        heapq.heappush(self._heap, event)
+        """Schedule ``callback`` at absolute ``time`` and return its handle.
+
+        ``shard`` selects the sub-heap (``None``: the main heap).  The
+        sequence counter is shared across all heaps, so shard placement
+        never affects dispatch order — only which heap carries the entry.
+        """
+        if shard is None:
+            event = Event(time, priority, next(self._counter), callback, tag)
+            heapq.heappush(self._heap, event)
+        else:
+            event = Event(
+                time, priority, next(self._counter), callback, tag, shard
+            )
+            heapq.heappush(self._shards[shard], event)
         self._live += 1
         return event
-
-    #: Heaps smaller than this are never compacted (not worth the filter).
-    COMPACT_MIN_SIZE = 64
 
     def cancel(self, event: Event) -> None:
         """Cancel an event previously returned by :meth:`push`.
 
         Cancelling an already-cancelled or already-fired event is a no-op.
-        When the cancelled fraction of the heap exceeds one half, the heap
-        is compacted (dead entries dropped, then re-heapified).
+        When the cancelled fraction of the event's heap exceeds
+        ``compact_dead_fraction``, that heap is compacted (dead entries
+        dropped, then re-heapified).
         """
-        if not event._cancelled and not event._fired:
-            event.cancel()
-            self._live -= 1
-            heap_size = len(self._heap)
-            if heap_size > self.COMPACT_MIN_SIZE and self._live < (heap_size >> 1):
-                self._compact()
+        if event._cancelled or event._fired:
+            return
+        event._cancelled = True
+        self._live -= 1
+        shard = event.shard
+        if shard < 0:
+            heap = self._heap
+            dead = self._dead_main = self._dead_main + 1
+        else:
+            heap = self._shards[shard]
+            dead = self._shard_dead[shard] = self._shard_dead[shard] + 1
+        size = len(heap)
+        if size > self.compact_min_size and dead > size * self.compact_dead_fraction:
+            self._compact(shard)
 
-    def _compact(self) -> None:
-        """Drop cancelled entries and restore the heap invariant.
+    def _compact(self, shard: int = -1) -> None:
+        """Drop cancelled entries from one heap and restore its invariant.
 
         Ordering is untouched: the heap property is re-established over the
         same total order (``Event.__lt__``), so the pop sequence of live
         events is identical before and after compaction.
         """
-        self._heap = [event for event in self._heap if not event._cancelled]
-        heapq.heapify(self._heap)
+        if shard < 0:
+            self._heap = [event for event in self._heap if not event._cancelled]
+            heapq.heapify(self._heap)
+            self._dead_main = 0
+        else:
+            live = [e for e in self._shards[shard] if not e._cancelled]
+            heapq.heapify(live)
+            self._shards[shard] = live
+            self._shard_dead[shard] = 0
+        self.compactions += 1
 
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
     def pop(self) -> Event:
         """Remove and return the earliest live event.
 
@@ -143,45 +267,84 @@ class EventQueue:
         IndexError
             If the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                event._fired = True
-                self._live -= 1
-                return event
-        raise IndexError("pop from empty EventQueue")
+        event = self.pop_due(_INFINITY)
+        if event is None:
+            raise IndexError("pop from empty EventQueue")
+        return event
 
     def pop_due(self, until: float) -> Optional[Event]:
         """Pop the earliest live event at or before ``until``, else ``None``.
 
         Fuses the ``peek_time`` + ``pop`` pair the kernel run loop would
-        otherwise perform, halving the per-event queue overhead on the
-        hottest loop in the simulator.
+        otherwise perform.  With shards registered, the head of each
+        sub-heap is compared against the main head under the global
+        ``(time, priority, seq)`` order, so the dispatch sequence is
+        byte-identical to a single-heap queue holding the same events.
         """
         heap = self._heap
         while heap:
             head = heap[0]
             if head._cancelled:
                 heapq.heappop(heap)
+                self._dead_main -= 1
                 continue
+            break
+        if not self._shards:
+            # Fast path: no shards registered (the common small-scene
+            # case) — identical to the single-heap queue.
+            if not heap:
+                return None
+            head = heap[0]
             if head.time > until:
                 return None
             heapq.heappop(heap)
             head._fired = True
             self._live -= 1
             return head
-        return None
+        best = heap[0] if heap else None
+        shards = self._shards
+        shard_dead = self._shard_dead
+        for i, sub in enumerate(shards):
+            while sub:
+                head = sub[0]
+                if head._cancelled:
+                    heapq.heappop(sub)
+                    shard_dead[i] -= 1
+                    continue
+                if best is None or head < best:
+                    best = head
+                break
+        if best is None or best.time > until:
+            return None
+        shard = best.shard
+        if shard < 0:
+            heapq.heappop(heap)
+        else:
+            heapq.heappop(shards[shard])
+        best._fired = True
+        self._live -= 1
+        return best
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
-        return None
+        heap = self._heap
+        while heap and heap[0]._cancelled:
+            heapq.heappop(heap)
+            self._dead_main -= 1
+        best = heap[0] if heap else None
+        for i, sub in enumerate(self._shards):
+            while sub and sub[0]._cancelled:
+                heapq.heappop(sub)
+                self._shard_dead[i] -= 1
+            if sub and (best is None or sub[0] < best):
+                best = sub[0]
+        return best.time if best is not None else None
 
+    # ------------------------------------------------------------------
+    # Audit / maintenance
+    # ------------------------------------------------------------------
     def scan_live(self) -> int:
-        """Count live events by a full heap scan (O(n)).
+        """Count live events by a full scan over every heap (O(n)).
 
         Audit hook for the invariant layer
         (:mod:`repro.check.invariants`): the lazily-maintained
@@ -190,9 +353,16 @@ class EventQueue:
         truncate or overrun a simulation.  ``scan_live`` recomputes the
         ground truth so the checker can compare.
         """
-        return sum(1 for event in self._heap if not event._cancelled)
+        count = sum(1 for event in self._heap if not event._cancelled)
+        for sub in self._shards:
+            count += sum(1 for event in sub if not event._cancelled)
+        return count
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event (shard registrations are kept)."""
         self._heap.clear()
+        for sub in self._shards:
+            sub.clear()
+        self._dead_main = 0
+        self._shard_dead = [0] * len(self._shards)
         self._live = 0

@@ -64,18 +64,23 @@ class Simulator:
         attribute under the same ``is None`` discipline as ``checks``;
         passing a recorder binds it to this simulator (scheduling its
         periodic gauge sampler, when one is configured).
+    queue:
+        Optional pre-built :class:`~repro.sim.events.EventQueue`, for
+        callers that need non-default compaction tuning
+        (``EventQueue(compact_min_size=..., compact_dead_fraction=...)``).
+        The default queue uses the standard thresholds.
     """
 
     def __init__(
         self, trace: Optional[Trace] = None, checks: Any = None,
-        obs: Any = None,
+        obs: Any = None, queue: Optional[EventQueue] = None,
     ) -> None:
         #: Current simulation time in seconds.  A plain attribute rather
         #: than a property: it is read on every event dispatch and inside
         #: every PHY/MAC hot path, where descriptor overhead is measurable.
         #: Only the kernel writes it.
         self.now = 0.0
-        self._queue = EventQueue()
+        self._queue = queue if queue is not None else EventQueue()
         self._running = False
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.checks = _resolve_checks(checks)
@@ -92,11 +97,18 @@ class Simulator:
         callback: Callable[[], Any],
         priority: int = 0,
         tag: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> Event:
-        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        ``shard`` routes the event into a band sub-heap previously
+        registered via :meth:`add_event_shard` (``None``: the main heap).
+        Shard placement never affects dispatch order — see
+        :class:`~repro.sim.events.EventQueue`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} s in the past")
-        return self._queue.push(self.now + delay, callback, priority, tag)
+        return self._queue.push(self.now + delay, callback, priority, tag, shard)
 
     def schedule_at(
         self,
@@ -104,13 +116,23 @@ class Simulator:
         callback: Callable[[], Any],
         priority: int = 0,
         tag: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> Event:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} s; clock already at {self.now} s"
             )
-        return self._queue.push(time, callback, priority, tag)
+        return self._queue.push(time, callback, priority, tag, shard)
+
+    def add_event_shard(self) -> int:
+        """Register a band sub-heap on the event queue; returns its index."""
+        return self._queue.add_shard()
+
+    @property
+    def event_queue(self) -> EventQueue:
+        """The underlying queue (read-only access for gauges and audits)."""
+        return self._queue
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if already fired/cancelled)."""

@@ -46,9 +46,13 @@ def test_sampler_mirrors_gauge_points_to_sink():
     sim.schedule(0.025, lambda: None)
     sim.run_until_idle()
     points = sink.of_kind("point")
-    assert points and all(p["name"] == "depth" for p in points)
-    assert points[0]["v"] == 4.0
-    assert points[0]["labels"] == {"node": "n0"}
+    depth = [p for p in points if p["name"] == "depth"]
+    assert depth
+    assert depth[0]["v"] == 4.0
+    assert depth[0]["labels"] == {"node": "n0"}
+    # The recorder also registers scheduler-health gauges at bind time.
+    assert any(p["name"] == "event_queue.live" for p in points)
+    assert any(p["name"] == "event_queue.compactions" for p in points)
 
 
 def test_span_hooks_record_and_stream():

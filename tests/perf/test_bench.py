@@ -131,3 +131,87 @@ def test_committed_baseline_is_loadable_and_current():
     baseline = load_baseline(str(path))
     assert QUICK_BENCHES <= set(baseline["benches"])
     assert baseline["calibration_s"] > 0.0
+
+
+def test_only_selects_named_benches():
+    doc = run_bench_suite(quick=True, verbose=False, only=["event_queue"])
+    assert set(doc["benches"]) == {"event_queue"}
+    # Derived metrics needing absent benches are simply omitted.
+    assert "cca_probe_speedup" not in doc["derived"]
+
+
+def test_only_can_select_heavy_benches_in_quick_mode():
+    """Heavy tiers (mini_run_50k_smoke) are reachable via ``only`` even
+    under the quick profile, which otherwise skips them."""
+    from repro.perf.bench import run_bench_suite as suite
+
+    # Don't actually run the 50k scene here — just verify the name
+    # resolves (unknown names raise before any bench executes).
+    with pytest.raises(KeyError):
+        suite(quick=True, verbose=False, only=["mini_run_50k_smoke", "nope"])
+
+
+def test_only_unknown_bench_raises_keyerror():
+    with pytest.raises(KeyError, match="unknown bench"):
+        run_bench_suite(quick=True, verbose=False, only=["no_such_bench"])
+
+
+def test_document_carries_generation_stamp(quick_doc):
+    assert quick_doc["before_note"]
+    # ISO-8601 UTC, e.g. 2026-08-08T12:34:56Z
+    import re
+
+    assert re.fullmatch(
+        r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", quick_doc["generated_at"]
+    )
+
+
+def test_compare_against_baseline_reports_deltas(quick_doc):
+    from repro.perf.bench import compare_against_baseline
+
+    baseline = copy.deepcopy(quick_doc)
+    for result in baseline["benches"].values():
+        result["per_op_us"] *= 2.0  # past was twice as slow
+    deltas = compare_against_baseline(quick_doc, baseline, verbose=False)
+    assert set(deltas) == set(quick_doc["benches"])
+    for delta in deltas.values():
+        assert delta == pytest.approx(-0.5)
+
+
+def test_compare_normalises_by_machine_calibration(quick_doc):
+    from repro.perf.bench import compare_against_baseline
+
+    baseline = copy.deepcopy(quick_doc)
+    baseline["calibration_s"] = quick_doc["calibration_s"] / 2.0
+    for result in baseline["benches"].values():
+        result["per_op_us"] /= 2.0
+    deltas = compare_against_baseline(quick_doc, baseline, verbose=False)
+    for delta in deltas.values():
+        assert delta == pytest.approx(0.0)
+
+
+def test_write_baseline_folds_previous_measurement(tmp_path, quick_doc):
+    """Each regeneration records the previous per-bench measurement in a
+    ``baseline`` field, fixing the stale-''before'' problem."""
+    path = tmp_path / "BENCH_kernel.json"
+    first = copy.deepcopy(quick_doc)
+    write_baseline(first, str(path))
+    on_disk = load_baseline(str(path))
+    for bench in on_disk["benches"].values():
+        assert bench["measured_at"] == first["generated_at"]
+        assert "baseline" not in bench  # no history on first write
+
+    second = copy.deepcopy(quick_doc)
+    second["generated_at"] = "2099-01-01T00:00:00Z"
+    for result in second["benches"].values():
+        result["per_op_us"] *= 1.5
+    write_baseline(second, str(path))
+    on_disk = load_baseline(str(path))
+    for name, bench in on_disk["benches"].items():
+        assert bench["measured_at"] == "2099-01-01T00:00:00Z"
+        rolled = bench["baseline"]
+        assert rolled["per_op_us"] == pytest.approx(
+            quick_doc["benches"][name]["per_op_us"]
+        )
+        assert rolled["measured_at"] == first["generated_at"]
+        assert rolled["calibration_s"] == first["calibration_s"]

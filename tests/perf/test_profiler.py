@@ -89,3 +89,84 @@ def test_cli_perf_profile_needs_exactly_one_target(capsys):
     assert main(["perf", "profile"]) == 2
     assert "--scene" in capsys.readouterr().err
     assert main(["perf", "profile", "fig29", "--scene", "64"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Structured (--json) snapshots
+# ----------------------------------------------------------------------
+def test_profile_exhibit_writes_json_snapshot(tmp_path):
+    import json
+
+    out = tmp_path / "fig29.json"
+    profile_exhibit("fig29", fast=True, top=4, json_out=str(out))
+    snapshot = json.loads(out.read_text())
+    assert snapshot["schema"] == 1
+    assert snapshot["sort"] == "tottime"
+    assert snapshot["total_calls"] > 0
+    assert snapshot["total_time_s"] > 0.0
+    assert 0 < len(snapshot["functions"]) <= 4
+    # Records are sorted by the chosen key, descending.
+    costs = [f["tottime_s"] for f in snapshot["functions"]]
+    assert costs == sorted(costs, reverse=True)
+    for record in snapshot["functions"]:
+        assert "(" in record["function"]
+        assert record["ncalls"] >= 1
+
+
+def test_profile_json_respects_sort_key(tmp_path):
+    import json
+
+    out = tmp_path / "cum.json"
+    profile_exhibit("fig29", fast=True, top=6, sort="cumtime",
+                    json_out=str(out))
+    snapshot = json.loads(out.read_text())
+    assert snapshot["sort"] == "cumtime"
+    costs = [f["cumtime_s"] for f in snapshot["functions"]]
+    assert costs == sorted(costs, reverse=True)
+
+
+def test_cli_perf_profile_json_smoke(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "scene.json"
+    assert main([
+        "perf", "profile", "--scene", "64", "--sim-s", "0.002",
+        "--json", str(out),
+    ]) == 0
+    assert json.loads(out.read_text())["functions"]
+    assert "function calls" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Bench CLI: --only and --compare
+# ----------------------------------------------------------------------
+def test_cli_perf_bench_only_unknown_exits_2(capsys):
+    assert main(["perf", "bench", "--only", "no_such_bench"]) == 2
+    assert "no_such_bench" in capsys.readouterr().err
+
+
+def test_cli_perf_bench_compare_missing_baseline_exits_2(tmp_path, capsys):
+    code = main([
+        "perf", "bench", "--quick", "--only", "event_queue",
+        "--compare", str(tmp_path / "nope.json"),
+    ])
+    assert code == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cli_perf_bench_only_with_compare(tmp_path, capsys):
+    """--only restricts the suite; --compare prints per-bench deltas
+    against a previous document without gating the exit code."""
+    out = tmp_path / "base.json"
+    assert main([
+        "perf", "bench", "--only", "event_queue", "--out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "perf", "bench", "--only", "event_queue", "--compare", str(out),
+        "--out", str(tmp_path / "second.json"),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "per-bench deltas" in printed
+    assert "event_queue" in printed
+    assert "%" in printed

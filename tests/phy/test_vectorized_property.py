@@ -155,6 +155,7 @@ def _delivery_run(
     vectorized,
     band_sharding=False,
     cross_band=False,
+    sharded_scheduler=None,
 ):
     """Two co-channel transmit chains plus receivers; with ``cross_band``
     a second network sits 75 MHz away, pre-mask audible (so signals *are*
@@ -194,6 +195,7 @@ def _delivery_run(
         link_cache=True,
         vectorized=vectorized,
         band_sharding=band_sharding,
+        sharded_scheduler=sharded_scheduler,
     )
     radios = {
         name: Radio(sim, medium, name, positions[name], channels[name], 0.0, rng=rng)
@@ -317,3 +319,84 @@ def test_band_sharding_requires_vectorized():
             vectorized=False,
             band_sharding=True,
         )
+
+
+# ----------------------------------------------------------------------
+# 6. Sharded scheduler + batched receiver accumulators (DESIGN.md §15)
+# ----------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_sharded_scheduler_trace_identical_to_unsharded(seed):
+    """Scheduler sharding + the batched delivery loop vs the PR-6
+    vectorized path with a single heap: bit-identical outcomes."""
+    sharded = _delivery_run(seed, vectorized=True, sharded_scheduler=True)
+    plain = _delivery_run(seed, vectorized=True, sharded_scheduler=False)
+    assert sharded == plain
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_sharded_scheduler_trace_identical_to_scalar_reference(seed):
+    """The full fast stack (sharded scheduler, batched accumulators,
+    vectorized cache) against the brute-force scalar kernels."""
+    fast = _delivery_run(seed, vectorized=True, sharded_scheduler=True)
+    reference = _delivery_run(seed, vectorized=False)
+    assert fast == reference
+
+
+def test_sharded_scheduler_requires_vectorized():
+    import pytest
+
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Medium(
+            sim,
+            FixedRssMatrix(),
+            rng=RngStreams(1),
+            vectorized=False,
+            sharded_scheduler=True,
+        )
+
+
+def test_sharded_scheduler_registers_band_shards():
+    sim = Simulator()
+    rng = RngStreams(5)
+    medium = Medium(
+        sim,
+        FixedRssMatrix(default_loss_db=60.0),
+        rng=rng,
+        vectorized=True,
+        sharded_scheduler=True,
+    )
+    radios = [
+        Radio(sim, medium, f"n{i}", (float(i), 0.0),
+              2405.0 + 5.0 * (i % 3), 0.0, rng=rng)
+        for i in range(6)
+    ]
+    # One shard per distinct band, shared by that band's radios.
+    assert sim.event_queue.num_shards == 3
+    by_band = {}
+    for radio in radios:
+        by_band.setdefault(radio.channel_mhz, set()).add(radio.event_shard)
+    assert all(len(s) == 1 for s in by_band.values())
+    assert len({next(iter(s)) for s in by_band.values()}) == 3
+
+
+def test_fading_buffer_growth_is_bit_identical_across_paths():
+    """Adaptive buffer growth (8 -> 32 -> 128 draws) interleaving the
+    scalar and batched entry points must replay the exact stream."""
+    fading = LogNormalFading(sigma_db=4.0, clip_db=12.0)
+    rng = RngStreams(11).stream("fading.a.b")
+    reference = RngStreams(11).stream("fading.a.b")
+    drawn = []
+    for round_index in range(40):
+        if round_index % 2:
+            drawn.extend(fading.sample_db_many([rng, rng, rng]))
+        else:
+            drawn.extend(fading.sample_db(rng) for _ in range(3))
+    # 120 draws cross both growth boundaries (8, then 32, then 128).
+    expected = []
+    while len(expected) < len(drawn):
+        value = reference.normal(0.0, 4.0)
+        expected.append(min(max(value, -12.0), 12.0))
+    assert drawn == expected
