@@ -5,7 +5,11 @@ Benchmarks the service layer's overhead on top of the same jobs:
 - **submit_wait_cold** — HTTP submit + poll to done, empty cache;
 - **submit_wait_warm** — identical resubmission, every job a cache hit
   (this is the regime a long-running server actually lives in);
-- **events_stream** — full NDJSON progress stream for a warm campaign.
+- **events_stream** — full NDJSON progress stream for a warm campaign;
+- **metrics_scrape** — one ``GET /metrics`` render + parse round trip on
+  a populated registry;
+- **obs_submit_overhead** — the obs-on submit path (worker snapshots +
+  trace export + merge) guarded to stay within noise of obs-off.
 
 The server runs in-process (thread workers, ephemeral port) with a
 synthetic runner, so the numbers isolate queue/journal/HTTP overhead
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 
 from repro.campaign.client import CampaignClient
 from repro.campaign.server import CampaignServer, ServerConfig
@@ -49,8 +54,8 @@ class ServerHarness:
             f"http://127.0.0.1:{self.server.port}"
         )
 
-    def submit_and_wait(self):
-        doc = self.client.submit(ids=IDS, seeds=SEEDS)
+    def submit_and_wait(self, seeds=SEEDS, obs=False):
+        doc = self.client.submit(ids=IDS, seeds=seeds, obs=obs)
         return self.client.wait(doc["id"], poll_s=0.01, timeout_s=60)
 
     def close(self):
@@ -94,5 +99,70 @@ def test_server_events_stream(benchmark, tmp_path):
         )
         assert events[-1]["event"] == "done"
         benchmark.extra_info["events"] = len(events)
+    finally:
+        harness.close()
+
+
+def test_server_metrics_scrape(benchmark, tmp_path):
+    """One ``GET /metrics`` render on a registry populated by real jobs
+    (histograms, per-exhibit labels, merged worker series)."""
+    harness = ServerHarness(tmp_path)
+    try:
+        harness.submit_and_wait(obs=True)
+        text = benchmark.pedantic(
+            harness.client.metrics_text, rounds=20, iterations=1
+        )
+        benchmark.extra_info["bytes"] = len(text)
+        benchmark.extra_info["series"] = len(harness.client.metrics())
+        # A scrape is an HTTP round trip + a text render over a few dozen
+        # metrics: anything beyond 250ms means the render went quadratic.
+        # (Timed by hand so the guard also holds under --benchmark-disable,
+        # where benchmark.stats is None.)
+        start = time.perf_counter()
+        harness.client.metrics_text()
+        assert time.perf_counter() - start < 0.25
+    finally:
+        harness.close()
+
+
+def test_server_obs_submit_within_noise_of_obs_off(benchmark, tmp_path):
+    """Guard: telemetry-on submissions (worker snapshot + trace export +
+    server-side merge) must stay within noise of telemetry-off ones.
+
+    Both arms execute fresh (uncached) jobs through the same worker
+    path; the generous 3x bound tolerates scheduler noise on shared CI
+    boxes while still catching an accidental per-job sampling sweep or
+    quadratic merge.
+    """
+    harness = ServerHarness(tmp_path)
+    try:
+        harness.submit_and_wait()  # warm the code paths / allocator
+        rounds = 3
+        seed = [100]
+
+        def fresh_seeds():
+            seed[0] += len(SEEDS)
+            return list(range(seed[0], seed[0] + len(SEEDS)))
+
+        def timed(obs):
+            start = time.perf_counter()
+            final = harness.submit_and_wait(seeds=fresh_seeds(), obs=obs)
+            assert final["cache_hits"] == 0
+            return time.perf_counter() - start
+
+        off = min(timed(obs=False) for _ in range(rounds))
+        on_times = []
+
+        def one_obs_round():
+            on_times.append(timed(obs=True))
+
+        benchmark.pedantic(one_obs_round, rounds=rounds, iterations=1)
+        on = min(on_times)
+        benchmark.extra_info["obs_off_s"] = round(off, 6)
+        benchmark.extra_info["obs_on_s"] = round(on, 6)
+        benchmark.extra_info["ratio"] = round(on / off, 3) if off else None
+        assert on <= off * 3.0 + 0.05, (
+            f"obs-on submit path {on:.4f}s vs obs-off {off:.4f}s"
+        )
     finally:
         harness.close()

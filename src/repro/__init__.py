@@ -25,12 +25,12 @@ The package implements, from scratch:
 
 from . import check, core, dot11, experiments, mac, net, obs, phy, sim
 
-# 0.6.0: campaign-as-a-service — the long-running experiment server
-# (repro.campaign.server) with a shared, crash-safe, LRU-budgeted result
-# cache.  Exhibit physics are untouched, but the bump keeps pre-server
-# cache inventories (no mtime-based LRU recency, no recorded-miss
-# eviction counters) from mixing with entries the server now manages.
-__version__ = "0.7.0"
+# 0.8.0: unified service telemetry — /metrics Prometheus exposition,
+# cross-process trace propagation (campaign → job → span) and the live
+# obs dashboard.  Exhibit physics are untouched, but worker results now
+# carry trace exports next to their metrics snapshots; the bump keeps
+# pre-telemetry cache entries from replaying without them.
+__version__ = "0.8.0"
 
 from . import campaign, perf  # noqa: E402  (the cache keys on __version__)
 

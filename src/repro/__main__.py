@@ -34,6 +34,16 @@
     python -m repro obs export fig04 -o run.jsonl
                                                # streaming JSONL telemetry
     python -m repro obs tail run.jsonl -n 20   # inspect an export
+    python -m repro obs top --url http://127.0.0.1:8642
+                                               # live dashboard over a
+                                               # running campaign server
+                                               # (polls /metrics + events)
+    python -m repro obs timeline --campaign c0001-... --url http://...
+                                               # merged server+worker
+                                               # Chrome trace of a campaign
+    python -m repro obs summary .repro-server/events.jsonl
+                                               # post-hoc roll-up of a
+                                               # server's events sink
 """
 
 from __future__ import annotations
@@ -174,6 +184,8 @@ def _cmd_serve(args) -> int:
         cache_max_bytes=(int(args.cache_max_mb * 2 ** 20)
                          if args.cache_max_mb else None),
         queue_shards=args.queue_shards,
+        events_max_bytes=int(args.events_max_mb * 2 ** 20),
+        profile_interval_s=args.profile_interval,
     )
     server = CampaignServer(config)
 
@@ -217,6 +229,7 @@ def _cmd_submit(args) -> int:
             seeds=args.seeds,
             fast=args.fast,
             params=_parse_params(args.param),
+            obs=args.obs,
         )
         campaign_id = doc["id"]
         print(f"submitted {campaign_id}: {doc['total']} job(s)")
@@ -391,6 +404,12 @@ def _cmd_obs_tail(args) -> int:
     return cmd_tail(args)
 
 
+def _cmd_obs_top(args) -> int:
+    from .obs.cli import cmd_top
+
+    return cmd_top(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -491,6 +510,12 @@ def main(argv=None) -> int:
     serve_parser.add_argument("--retries", type=int, default=2)
     serve_parser.add_argument("--queue-shards", type=int, default=4,
                               help="journal shard files (default 4)")
+    serve_parser.add_argument("--events-max-mb", type=float, default=4.0,
+                              help="rotate the server events JSONL past "
+                                   "this size (default 4)")
+    serve_parser.add_argument("--profile-interval", type=float, default=5.0,
+                              help="flight-recorder sampling period in "
+                                   "seconds (/debug/profile; default 5)")
     serve_parser.set_defaults(func=_cmd_serve)
 
     submit_parser = sub.add_parser(
@@ -506,6 +531,10 @@ def main(argv=None) -> int:
                                metavar="KEY=VALUE",
                                help="extra exhibit parameter (repeatable; "
                                     "value parsed as JSON, else string)")
+    submit_parser.add_argument("--obs", action="store_true",
+                               help="run jobs under worker observability "
+                                    "(metrics + sim spans ship back into "
+                                    "the server's /metrics and trace)")
     submit_parser.add_argument("--stream", action="store_true",
                                help="stream NDJSON progress events")
     submit_parser.add_argument("--no-wait", action="store_true",
@@ -622,16 +651,32 @@ def main(argv=None) -> int:
 
     o_summary = obs_sub.add_parser(
         "summary", help="run one exhibit and print per-node/per-channel "
-                        "metric tables"
+                        "metric tables — or, given a *.jsonl path, roll "
+                        "up a campaign server's events export offline"
     )
     _obs_run_args(o_summary)
     o_summary.set_defaults(func=_cmd_obs_summary)
 
     o_timeline = obs_sub.add_parser(
         "timeline", help="run one exhibit and export a Chrome trace_event "
-                         "timeline (open at ui.perfetto.dev)"
+                         "timeline (open at ui.perfetto.dev); with "
+                         "--campaign, fetch the merged server+worker trace "
+                         "of a server campaign instead"
     )
-    _obs_run_args(o_timeline)
+    o_timeline.add_argument("experiment", nargs="?", default=None,
+                            help="exhibit id, e.g. fig04 (omit with "
+                                 "--campaign)")
+    o_timeline.add_argument("--seed", type=int, default=1)
+    o_timeline.add_argument("--fast", action="store_true")
+    o_timeline.add_argument("--sample-interval", type=float, default=0.01,
+                            help="gauge sampling period in sim seconds "
+                                 "(default 0.01)")
+    o_timeline.add_argument("--campaign", default=None, metavar="ID",
+                            help="fetch this campaign's merged trace from "
+                                 "a running server (--url)")
+    o_timeline.add_argument("--url", default="http://127.0.0.1:8642",
+                            help="campaign server base URL "
+                                 "(with --campaign)")
     o_timeline.add_argument("-o", "--out", default="timeline.json")
     o_timeline.set_defaults(func=_cmd_obs_timeline)
 
@@ -652,6 +697,21 @@ def main(argv=None) -> int:
                         help="only records of this kind "
                              "(manifest/span/point/counter)")
     o_tail.set_defaults(func=_cmd_obs_tail)
+
+    o_top = obs_sub.add_parser(
+        "top", help="live ANSI dashboard over a running campaign server "
+                    "(polls /metrics and the newest campaign's events)"
+    )
+    o_top.add_argument("--url", default="http://127.0.0.1:8642",
+                       help="campaign server base URL")
+    o_top.add_argument("--interval", type=float, default=2.0,
+                       help="poll period in seconds (default 2)")
+    o_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (no ANSI "
+                            "clear; scriptable)")
+    o_top.add_argument("--width", type=int, default=78,
+                       help="frame width in columns (default 78)")
+    o_top.set_defaults(func=_cmd_obs_top)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -53,13 +53,26 @@ class CampaignClient:
                 message = exc.reason
             raise ServerError(exc.code, str(message)) from None
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (``/metrics``) as text."""
+        request = urllib.request.Request(
+            self.base_url + path, headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServerError(exc.code, str(exc.reason)) from None
+
     # ------------------------------------------------------------------
     def info(self) -> Dict[str, Any]:
         return self._request("GET", "/")
 
     def submit(self, *, ids: Optional[List[str]] = None,
                seeds: Optional[List[int]] = None, fast: bool = True,
-               params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               params: Optional[Dict[str, Any]] = None,
+               obs: bool = False) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"fast": bool(fast)}
         if ids is not None:
             payload["ids"] = list(ids)
@@ -67,6 +80,8 @@ class CampaignClient:
             payload["seeds"] = [int(s) for s in seeds]
         if params:
             payload["params"] = dict(params)
+        if obs:
+            payload["obs"] = True
         return self._request("POST", "/campaigns", payload)
 
     def campaign(self, campaign_id: str) -> Dict[str, Any]:
@@ -77,6 +92,24 @@ class CampaignClient:
 
     def cache_stats(self) -> Dict[str, Any]:
         return self._request("GET", "/cache/stats")
+
+    def metrics_text(self) -> str:
+        """Raw ``GET /metrics`` body (Prometheus exposition text)."""
+        return self._request_text("/metrics")
+
+    def metrics(self) -> List[Any]:
+        """Parsed ``/metrics`` samples: ``(name, labels, value)`` triples."""
+        from ..obs.exposition import parse_prometheus
+
+        return parse_prometheus(self.metrics_text())
+
+    def trace(self, campaign_id: str) -> Dict[str, Any]:
+        """The campaign's merged Chrome ``trace_event`` document."""
+        return self._request("GET", f"/campaigns/{campaign_id}/trace")
+
+    def debug_profile(self) -> Dict[str, Any]:
+        """The server's flight-recorder ring (``GET /debug/profile``)."""
+        return self._request("GET", "/debug/profile")
 
     def shutdown(self) -> Dict[str, Any]:
         return self._request("POST", "/shutdown", {})

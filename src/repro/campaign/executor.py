@@ -156,23 +156,46 @@ def _execute_with_timeout(
         signal.signal(signal.SIGALRM, previous)
 
 
+#: ObsSession is a process-global ambient that refuses to nest.  Pool
+#: processes run one job at a time, but the campaign server's ``jobs=0``
+#: mode executes jobs on *threads* of one process — without this lock two
+#: concurrent obs jobs would collide on the ambient slot.  Non-obs jobs
+#: never take it, so the obs-off path keeps its full parallelism.
+_OBS_LOCK = threading.Lock()
+
+
 def _worker(payload: Dict[str, Any], runner: Optional[Runner]) -> Dict[str, Any]:
-    """Pool entry point: pure data in, pure data out (pickle-friendly)."""
+    """Pool entry point: pure data in, pure data out (pickle-friendly).
+
+    Optional payload keys beyond ``spec``/``timeout_s``:
+
+    - ``obs`` — run under an ambient obs session and return its snapshot
+      as ``metrics``;
+    - ``trace`` — a :class:`~repro.obs.tracectx.TraceContext` dict; when
+      present the result carries a ``trace`` export (wall-clock execute
+      span, plus bounded sim spans when ``obs`` is also on) for the
+      server's merged per-campaign timeline;
+    - ``trace_sim_spans`` — cap on exported sim spans (default 4000).
+    """
     spec = JobSpec.from_dict(payload["spec"])
     timeout_s = payload.get("timeout_s")
+    trace_ctx = payload.get("trace")
     start = time.perf_counter()
+    wall_start = time.time()
     try:
+        obs_session = None
         if payload.get("obs"):
             # Event-driven telemetry only (sample_interval_s=None): the
             # snapshot costs a few counters per frame, not a gauge sweep,
             # and enabling it never changes the job's fixed-seed result.
             from ..obs.runtime import ObsSession
 
-            with ObsSession(sample_interval_s=None) as obs_session:
-                table = _execute_with_timeout(
-                    runner or run_registry_job, spec, timeout_s
-                )
-            metrics = obs_session.snapshot()
+            with _OBS_LOCK:
+                with ObsSession(sample_interval_s=None) as obs_session:
+                    table = _execute_with_timeout(
+                        runner or run_registry_job, spec, timeout_s
+                    )
+                metrics = obs_session.snapshot()
         else:
             table = _execute_with_timeout(
                 runner or run_registry_job, spec, timeout_s
@@ -185,6 +208,21 @@ def _worker(payload: Dict[str, Any], runner: Optional[Runner]) -> Dict[str, Any]
         }
         if metrics is not None:
             result["metrics"] = metrics
+        if trace_ctx is not None:
+            trace: Dict[str, Any] = {
+                "campaign": trace_ctx.get("campaign", ""),
+                "job": trace_ctx.get("job", str(spec)),
+                "wall": [{"name": "execute", "job": trace_ctx.get("job", ""),
+                          "t0": wall_start, "t1": time.time()}],
+            }
+            if obs_session is not None:
+                from ..obs.tracectx import export_sim_spans
+
+                trace.update(export_sim_spans(
+                    obs_session.recorders,
+                    max_spans=int(payload.get("trace_sim_spans", 4000)),
+                ))
+            result["trace"] = trace
         return result
     except JobTimeout:
         return {

@@ -65,6 +65,12 @@ class JobSpec:
         """The (exhibit_id, seed) pair used to index campaign outcomes."""
         return (self.exhibit_id, self.seed)
 
+    @property
+    def label(self) -> str:
+        """Human-readable job id (``fig04@s3``) — the name server event
+        streams, trace tracks and failure summaries all agree on."""
+        return f"{self.exhibit_id}@s{self.seed}"
+
     def param_dict(self) -> Dict[str, Any]:
         return dict(self.params)
 

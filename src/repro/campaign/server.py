@@ -19,11 +19,28 @@ Endpoints
   ``repro campaign run`` of the same specs, plus aggregated tables.
 - ``GET /campaigns/<id>/events`` — NDJSON progress stream (replays the
   retained history, then live events until the campaign finishes).
-- ``GET /cache/stats`` — shared-cache hit/miss/eviction counters (also
-  exported through the server's obs :class:`MetricsRegistry`).
+- ``GET /metrics`` — Prometheus text exposition of the server-lifetime
+  registry: cache hit/miss/eviction, queue depth, jobs
+  in-flight/completed/failed, per-exhibit wall-time summaries,
+  coalescing counters, and ``worker_*`` series merged from the obs
+  snapshots worker processes ship home on ``JobOutcome.metrics``.
+- ``GET /cache/stats`` — deprecated alias: the same JSON as before
+  ``/metrics`` existed (kept so old tooling keeps working; new tooling
+  should scrape ``/metrics``).
+- ``GET /campaigns/<id>/trace`` — the merged Chrome ``trace_event``
+  timeline of one campaign: server-side spans (submit, cache-probe,
+  queue-wait, execute) as a parent track, worker wall + sim spans below
+  (see :mod:`repro.obs.tracectx`; ``repro obs timeline --campaign``).
+- ``GET /debug/profile`` — the :class:`~repro.perf.profiler.
+  FlightRecorder` ring: periodic CPU/RSS/GC snapshots of the server
+  process.
 - ``GET /healthz``, ``GET /`` — liveness and server info.
 - ``POST /shutdown`` — graceful drain: stop accepting, finish
   outstanding campaigns, then exit.
+
+Every ``/events`` record is additionally fanned out into a rotating
+JSONL sink (``<state_dir>/events.jsonl``), so ``repro obs summary`` can
+post-process a server run after the fact.
 
 Crash safety
 ------------
@@ -58,7 +75,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.exposition import merge_worker_snapshot, render_prometheus
 from ..obs.metrics import MetricsRegistry, registry_snapshot
+from ..obs.sinks import RotatingJsonlSink, run_manifest
+from ..obs.tracectx import SpanRecorder, campaign_trace
+from ..perf.profiler import FlightRecorder
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .executor import CampaignResult, JobOutcome, Runner, execute_payload
 from .jobs import JobSpec, expand_jobs
@@ -92,6 +113,14 @@ class ServerConfig:
     timeout_s: Optional[float] = None
     cache_max_bytes: Optional[int] = None
     queue_shards: int = 4
+    #: Rotation budget of the server-side ``/events`` JSONL sink
+    #: (``<state_dir>/events.jsonl``): active-file size and backup count.
+    events_max_bytes: int = 4 * 2 ** 20
+    events_backups: int = 4
+    #: Flight-recorder sampling period (``GET /debug/profile``).
+    profile_interval_s: float = 5.0
+    #: Per-job cap on sim spans exported into the campaign trace.
+    trace_sim_spans: int = 4000
 
 
 @dataclass
@@ -109,6 +138,11 @@ class _Campaign:
     events: List[Dict[str, Any]] = field(default_factory=list)
     result: Optional[Dict[str, Any]] = None
     changed: Optional[asyncio.Condition] = None  # created on the loop
+    #: Server-side wall spans (submit / cache_probe / queue_wait /
+    #: execute) — the parent track of the merged campaign trace.
+    trace: SpanRecorder = field(default_factory=SpanRecorder)
+    #: Per-job worker trace exports, keyed by ``JobSpec.label``.
+    job_traces: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -151,6 +185,50 @@ class CampaignServer:
             Path(config.state_dir) / "queue", shards=config.queue_shards
         )
         self.started_at = time.time()
+        #: Server-lifetime ``/events`` fan-out (rotating, manifest-led).
+        self.events_sink = RotatingJsonlSink(
+            Path(config.state_dir) / "events.jsonl",
+            max_bytes=config.events_max_bytes,
+            backups=config.events_backups,
+            manifest=run_manifest(role="campaign-server"),
+        )
+        self.jobs_in_flight = 0
+        self.flight = FlightRecorder(
+            interval_s=config.profile_interval_s,
+            sample_fn=lambda: {
+                "jobs_in_flight": self.jobs_in_flight,
+                "campaigns": len(self._campaigns),
+            },
+        )
+        # Pre-register the headline counters so /metrics exposes every
+        # key series from the first scrape (at 0), not only after its
+        # first increment — dashboards and the CI assertions key on the
+        # names being present.
+        for name in (
+            "server.campaigns.submitted", "server.campaigns.completed",
+            "server.jobs.completed", "server.jobs.failed",
+            "server.jobs.retried", "server.jobs.coalesced",
+            "server.events.sink_errors",
+            "campaign.cache.hits", "campaign.cache.misses",
+            "campaign.cache.writes", "campaign.cache.evictions",
+        ):
+            self.metrics.counter(name)
+        # Live service gauges: registered once, read at scrape time.
+        self.metrics.gauge("server.jobs.in_flight",
+                           lambda: float(self.jobs_in_flight))
+        self.metrics.gauge("server.uptime_s",
+                           lambda: time.time() - self.started_at)
+        self.metrics.gauge(
+            "server.campaigns.running",
+            lambda: float(sum(1 for c in self._campaigns.values()
+                              if c.state == "running")),
+        )
+        self.metrics.gauge(
+            "server.queue.depth",
+            lambda: float(sum(max(0, c.stats.total - c.stats.done)
+                              for c in self._campaigns.values()
+                              if c.state != "done")),
+        )
         self.port: Optional[int] = None  # actual bound port once ready
         self.ready = threading.Event()
         #: Optional callback invoked with the server once it is bound
@@ -218,6 +296,7 @@ class CampaignServer:
                 self._count("server.campaigns.recovery_failed")
                 continue
             self._count("server.campaigns.recovered")
+        self.flight.start()
         self.ready.set()
         if self.announce is not None:
             self.announce(self)
@@ -251,6 +330,8 @@ class CampaignServer:
             await self._server.wait_closed()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        self.flight.stop()
+        self.events_sink.close()
         self.ready.clear()
 
     def _count(self, name: str, amount: float = 1.0) -> None:
@@ -304,6 +385,7 @@ class CampaignServer:
         if journal:
             self.queue.record_submit(campaign_id, payload)
         self._count("server.campaigns.submitted")
+        rec.trace.add("submit", rec.submitted_at, time.time())
         self._emit(rec, {"event": "submitted", "id": campaign_id,
                          "jobs": len(specs), "resumed": resumed})
         self._tasks[campaign_id] = asyncio.get_running_loop().create_task(
@@ -316,6 +398,13 @@ class CampaignServer:
         event["seq"] = len(rec.events)
         if len(rec.events) < _MAX_EVENTS:
             rec.events.append(event)
+        try:
+            self.events_sink.emit(
+                {"kind": "event", "campaign": rec.campaign_id, **event})
+        except Exception:
+            # Telemetry fan-out must never fail a campaign: a full disk
+            # or closed sink only bumps a counter the scrape can see.
+            self._count("server.events.sink_errors")
         assert rec.changed is not None
 
         async def _notify() -> None:
@@ -334,8 +423,21 @@ class CampaignServer:
         semaphore = asyncio.Semaphore(width)
 
         async def one(spec: JobSpec) -> None:
+            enqueued = time.time()
             async with semaphore:
+                acquired = time.time()
+                rec.trace.add("queue_wait", enqueued, acquired,
+                              job=spec.label)
+                self.metrics.histogram(
+                    "server.job.queue_wait_s", exhibit=spec.exhibit_id
+                ).observe(acquired - enqueued)
                 outcome = await self._execute_spec(rec, spec)
+            if not outcome.from_cache:
+                # Cache hits are ~free and would drown the signal; the
+                # per-exhibit latency summary tracks real executions.
+                self.metrics.histogram(
+                    "server.job.elapsed_s", exhibit=spec.exhibit_id
+                ).observe(outcome.elapsed_s)
             rec.outcomes[spec.key] = outcome
             rec.stats.record(spec.key, outcome.elapsed_s, ok=outcome.ok,
                              from_cache=outcome.from_cache,
@@ -382,7 +484,7 @@ class CampaignServer:
         for spec in rec.specs:
             result.outcomes[spec.key] = rec.outcomes[spec.key]
         tables = {
-            f"{spec.exhibit_id}@s{spec.seed}": outcome.table.to_json()
+            spec.label: outcome.table.to_json()
             for spec in rec.specs
             for outcome in (rec.outcomes[spec.key],)
             if outcome.table is not None
@@ -401,7 +503,8 @@ class CampaignServer:
     async def _execute_spec(self, rec: _Campaign,
                             spec: JobSpec) -> JobOutcome:
         """One job: cache, single-flight coalescing, retries, pool."""
-        entry = self.cache.get(spec)
+        with rec.trace.span("cache_probe", job=spec.label):
+            entry = self.cache.get(spec)
         if entry is not None:
             return JobOutcome(spec, entry.table, None, attempts=0,
                               elapsed_s=entry.elapsed_s, from_cache=True,
@@ -428,14 +531,21 @@ class CampaignServer:
             elapsed = 0.0
             while True:
                 attempts += 1
-                raw = await self._dispatch(spec)
+                raw = await self._dispatch(rec, spec)
                 elapsed += raw["elapsed_s"]
+                if raw.get("trace"):
+                    rec.job_traces[spec.label] = raw["trace"]
                 if raw["ok"]:
                     table_dict = raw["table"]
                     from ..experiments.results import ResultTable
 
                     table = ResultTable.from_dict(table_dict)
                     metrics = raw.get("metrics")
+                    if metrics:
+                        # Fresh execution only (cache hits replay stored
+                        # snapshots and would double-count): fold the
+                        # worker's obs totals into worker.* series.
+                        merge_worker_snapshot(self.metrics, metrics)
                     self.cache.put(spec, table, raw["elapsed_s"],
                                    metrics=metrics)
                     return JobOutcome(spec, table, None, attempts, elapsed,
@@ -451,12 +561,25 @@ class CampaignServer:
             self._inflight.pop(key, None)
             future.set_result(None)
 
-    async def _dispatch(self, spec: JobSpec) -> Dict[str, Any]:
-        """Ship one payload to the worker pool (or the thread fallback)."""
+    async def _dispatch(self, rec: _Campaign,
+                        spec: JobSpec) -> Dict[str, Any]:
+        """Ship one payload to the worker pool (or the thread fallback).
+
+        The payload carries the job's :class:`TraceContext` so the worker
+        stamps its spans with the campaign/job identity, and ``obs`` when
+        the submission asked for it — in which case the worker's metric
+        snapshot rides back on the result for the ``worker.*`` merge.
+        """
         payload: Dict[str, Any] = {
             "spec": spec.to_dict(), "timeout_s": self.config.timeout_s,
+            "trace": {"campaign": rec.campaign_id, "job": spec.label},
+            "trace_sim_spans": self.config.trace_sim_spans,
         }
+        if rec.payload.get("obs"):
+            payload["obs"] = True
         assert self._loop is not None
+        self.jobs_in_flight += 1
+        t0 = time.time()
         try:
             return await self._loop.run_in_executor(
                 self._pool, execute_payload, payload, self.runner
@@ -464,6 +587,9 @@ class CampaignServer:
         except Exception:  # broken pool / unpicklable runner
             return {"ok": False, "error": traceback.format_exc(limit=4),
                     "elapsed_s": 0.0}
+        finally:
+            self.jobs_in_flight -= 1
+            rec.trace.add("execute", t0, time.time(), job=spec.label)
 
     # ------------------------------------------------------------------
     # HTTP front end.
@@ -517,7 +643,14 @@ class CampaignServer:
                 "campaigns": [c.summary()
                               for c in self._campaigns.values()],
             })
+        elif method == "GET" and path == "/metrics":
+            self._respond_text(writer, 200, render_prometheus(self.metrics))
+        elif method == "GET" and path == "/debug/profile":
+            self._respond(writer, 200, self.flight.report())
         elif method == "GET" and path == "/cache/stats":
+            # Deprecated alias: /metrics carries the same counters as
+            # campaign_cache_* series; the JSON shape is pinned by tests
+            # so pre-/metrics tooling keeps working unchanged.
             snap = self.cache.stats_snapshot()
             snap["metrics"] = registry_snapshot(self.metrics)
             self._respond(writer, 200, snap)
@@ -535,6 +668,18 @@ class CampaignServer:
             if method == "GET" and rest.endswith("/events"):
                 await self._stream_events(rest[: -len("/events")].rstrip("/"),
                                           writer)
+            elif method == "GET" and rest.endswith("/trace"):
+                cid = rest[: -len("/trace")].rstrip("/")
+                rec = self._campaigns.get(cid)
+                if rec is None:
+                    self._respond(writer, 404,
+                                  {"error": f"unknown campaign {cid!r}"})
+                else:
+                    self._respond(writer, 200, campaign_trace(
+                        rec.campaign_id, rec.trace.spans, rec.job_traces,
+                        metadata={"state": rec.state,
+                                  "jobs": len(rec.specs)},
+                    ))
             elif method == "GET":
                 rec = self._campaigns.get(rest)
                 if rec is None:
@@ -597,16 +742,31 @@ class CampaignServer:
                 if cursor >= len(rec.events) and rec.state != "done":
                     await rec.changed.wait()
 
+    _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                500: "Internal Server Error",
+                503: "Service Unavailable"}
+
     def _respond(self, writer: asyncio.StreamWriter, status: int,
                  obj: Dict[str, Any]) -> None:
-        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                   404: "Not Found", 405: "Method Not Allowed",
-                   500: "Internal Server Error",
-                   503: "Service Unavailable"}
-        body = json.dumps(obj, sort_keys=True).encode("utf-8")
+        self._write_response(
+            writer, status, json.dumps(obj, sort_keys=True).encode("utf-8"),
+            "application/json",
+        )
+
+    def _respond_text(self, writer: asyncio.StreamWriter, status: int,
+                      text: str) -> None:
+        """Plain-text response — the Prometheus exposition content type."""
+        self._write_response(
+            writer, status, text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                        body: bytes, content_type: str) -> None:
         head = (
-            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"HTTP/1.1 {status} {self._REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         )
@@ -625,5 +785,7 @@ class CampaignServer:
             "campaigns": len(self._campaigns),
             "running": sum(1 for c in self._campaigns.values()
                            if c.state == "running"),
+            "jobs_in_flight": self.jobs_in_flight,
+            "events_jsonl": str(self.events_sink.path),
             "queue": self.queue.status(),
         }

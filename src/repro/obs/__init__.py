@@ -13,7 +13,14 @@ about *outcomes*, this package reports about *behaviour over time*:
 - :mod:`repro.obs.runtime` — the ambient :class:`ObsSession` that lets
   ``repro obs ...`` instrument unmodified exhibits;
 - :mod:`repro.obs.timeline` — Chrome ``trace_event`` export (Perfetto);
-- :mod:`repro.obs.summary` — per-node/per-channel metric tables.
+- :mod:`repro.obs.summary` — per-node/per-channel metric tables;
+- :mod:`repro.obs.exposition` — Prometheus text-format rendering of a
+  registry (the campaign server's ``GET /metrics``) and worker-snapshot
+  merging;
+- :mod:`repro.obs.tracectx` — cross-process trace propagation
+  (campaign → job → span) and the merged per-campaign Chrome trace;
+- :mod:`repro.obs.top` — the live ANSI dashboard (``repro obs top``)
+  over a running campaign server.
 
 Enable per run with ``Deployment(obs=Observability())`` or ambiently::
 
@@ -34,12 +41,19 @@ from .metrics import (
     metric_key,
     registry_snapshot,
 )
+from .exposition import (
+    merge_worker_snapshot,
+    parse_prometheus,
+    render_prometheus,
+    validate_prometheus,
+)
 from .recorder import Observability
 from .runtime import ObsSession, active_obs_session
 from .sinks import (
     SCHEMA_VERSION,
     JsonlSink,
     MemorySink,
+    RotatingJsonlSink,
     Sink,
     read_jsonl,
     run_manifest,
@@ -47,6 +61,7 @@ from .sinks import (
 from .spans import Span, SpanLog
 from .summary import channel_table, node_table, summary_tables
 from .timeline import trace_events, write_trace
+from .tracectx import SpanRecorder, TraceContext, campaign_trace
 
 __all__ = [
     "Counter",
@@ -65,6 +80,7 @@ __all__ = [
     "Sink",
     "MemorySink",
     "JsonlSink",
+    "RotatingJsonlSink",
     "run_manifest",
     "read_jsonl",
     "trace_events",
@@ -72,4 +88,11 @@ __all__ = [
     "node_table",
     "channel_table",
     "summary_tables",
+    "render_prometheus",
+    "parse_prometheus",
+    "validate_prometheus",
+    "merge_worker_snapshot",
+    "TraceContext",
+    "SpanRecorder",
+    "campaign_trace",
 ]

@@ -1,0 +1,306 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+The campaign server's ``GET /metrics`` endpoint renders its
+server-lifetime registry through :func:`render_prometheus`, producing the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version ``0.0.4``) so any off-the-shelf scraper — or the bundled
+``repro obs top`` dashboard — can consume it:
+
+- :class:`~repro.obs.metrics.Counter` → ``counter`` samples;
+- :class:`~repro.obs.metrics.Gauge` → ``gauge`` samples (read live);
+- :class:`~repro.obs.metrics.Histogram` → ``summary`` families
+  (``{quantile="0.5|0.95|0.99"}`` plus ``_sum``/``_count``);
+- :class:`~repro.obs.metrics.TimeSeries` → a ``gauge`` carrying the most
+  recent point (skipped when a real gauge already owns the name).
+
+Metric names keep their dotted registry spelling internally
+(``server.jobs.completed``) and are sanitised to the Prometheus grammar
+(``server_jobs_completed``) only at render time.
+
+The module also carries the inverse direction:
+:func:`parse_prometheus` (used by the dashboard and by the validator
+test) and :func:`merge_worker_snapshot`, which folds a worker process's
+:func:`~repro.obs.metrics.registry_snapshot` /
+:meth:`~repro.obs.runtime.ObsSession.snapshot` dict into a parent
+registry under ``worker.*`` names — counters add exactly; histogram
+summaries (whose raw samples never cross the process boundary) become
+``worker.<name>.sum`` / ``worker.<name>.count`` counter pairs, the shape
+Prometheus histograms use anyway.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "validate_prometheus",
+    "parse_metric_key",
+    "merge_worker_snapshot",
+    "sanitize_metric_name",
+]
+
+#: Quantiles exported for every histogram (the summary convention).
+_QUANTILES = (0.50, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN|[+-]Inf)"
+    r"(?: (?P<ts>-?[0-9]+))?$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus name grammar.
+
+    Dots (the registry convention) and any other illegal characters
+    become underscores; a leading digit gains an underscore prefix.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+            .replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _unescape_label_value(value: str) -> str:
+    return (value.replace(r'\"', '"')
+            .replace(r"\n", "\n")
+            .replace(r"\\", "\\"))
+
+
+def _fmt_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def _sample_line(name: str, labels: Iterable[Tuple[str, str]],
+                 value: float) -> str:
+    pairs = [
+        f'{sanitize_metric_name(key)}="{_escape_label_value(str(val))}"'
+        for key, val in labels
+    ]
+    body = "{" + ",".join(pairs) + "}" if pairs else ""
+    return f"{name}{body} {_fmt_value(value)}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render one registry as Prometheus ``text/plain; version=0.0.4``.
+
+    Families are emitted in registry insertion order (counters, then
+    gauges, then histograms-as-summaries, then time-series last values),
+    each preceded by its ``# TYPE`` line.  Gauges are read live at render
+    time; nothing here mutates the registry, so rendering is safe at any
+    point in the server's life.
+    """
+    lines: List[str] = []
+    emitted: set = set()
+
+    def family(kind_iter, prom_type: str, sample_fn) -> None:
+        grouped: Dict[str, List[Any]] = {}
+        for metric in kind_iter:
+            grouped.setdefault(metric.name, []).append(metric)
+        for name, metrics in grouped.items():
+            sname = sanitize_metric_name(name)
+            if sname in emitted:
+                continue
+            emitted.add(sname)
+            lines.append(f"# TYPE {sname} {prom_type}")
+            for metric in metrics:
+                sample_fn(sname, metric)
+
+    def counter_sample(sname, counter) -> None:
+        lines.append(_sample_line(sname, counter.labels, counter.value))
+
+    def gauge_sample(sname, gauge) -> None:
+        lines.append(_sample_line(sname, gauge.labels, gauge.read()))
+
+    family(registry.counters(), "counter", counter_sample)
+    family(registry.of_kind("gauge"), "gauge", gauge_sample)
+
+    # Histograms render as summaries: quantile samples + _sum/_count.
+    grouped: Dict[str, List[Any]] = {}
+    for hist in registry.histograms():
+        grouped.setdefault(hist.name, []).append(hist)
+    for name, hists in grouped.items():
+        sname = sanitize_metric_name(name)
+        if sname in emitted:
+            continue
+        emitted.add(sname)
+        emitted.update((f"{sname}_sum", f"{sname}_count"))
+        lines.append(f"# TYPE {sname} summary")
+        for hist in hists:
+            for quantile in _QUANTILES:
+                value = hist.quantile(quantile)
+                if value is None:
+                    continue
+                labels = list(hist.labels) + [("quantile", f"{quantile:g}")]
+                lines.append(_sample_line(sname, labels, value))
+            lines.append(_sample_line(f"{sname}_sum", hist.labels, hist.total))
+            lines.append(_sample_line(f"{sname}_count", hist.labels,
+                                      float(hist.count)))
+
+    # Time series: most recent point as a gauge, unless a live gauge of
+    # the same name was already rendered (the sampler pairs them).
+    def series_sample(sname, series) -> None:
+        last = series.last()
+        if last is not None and math.isfinite(last[1]):
+            lines.append(_sample_line(sname, series.labels, last[1]))
+
+    family(registry.series(), "gauge", series_sample)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Parsing (the dashboard's and the validator test's direction).
+
+
+def parse_prometheus(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse exposition text into ``(name, labels, value)`` samples.
+
+    Comment/``# TYPE`` lines are skipped; malformed sample lines raise
+    ``ValueError`` (this doubles as the format validator — see
+    :func:`validate_prometheus`).
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample: {raw!r}")
+        labels: Dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(body):
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
+                consumed = pair.end()
+            rest = body[consumed:].strip().strip(",")
+            if rest:
+                raise ValueError(
+                    f"line {lineno}: bad label syntax near {rest!r}"
+                )
+        value_text = match.group("value")
+        if value_text == "NaN":
+            value = float("nan")
+        elif value_text.endswith("Inf"):
+            value = float("-inf") if value_text.startswith("-") else float("inf")
+        else:
+            value = float(value_text)
+        samples.append((match.group("name"), labels, value))
+    return samples
+
+
+def validate_prometheus(text: str) -> int:
+    """Validate exposition text; returns the sample count.
+
+    Beyond per-line grammar (delegated to :func:`parse_prometheus`) this
+    checks the family discipline: every sample's base name must be
+    covered by a preceding ``# TYPE`` line, label names must be legal,
+    and a ``# TYPE`` must not repeat.
+    """
+    typed: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line.startswith("# TYPE "):
+            continue
+        parts = line.split()
+        if len(parts) != 4 or parts[3] not in (
+            "counter", "gauge", "histogram", "summary", "untyped"
+        ):
+            raise ValueError(f"line {lineno}: bad TYPE line: {raw!r}")
+        name = parts[2]
+        if not _NAME_OK.match(name):
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        if name in typed:
+            raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+        typed[name] = parts[3]
+    samples = parse_prometheus(text)
+    for name, labels, _value in samples:
+        base = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            raise ValueError(f"sample {name!r} has no # TYPE family")
+        for label in labels:
+            if not _LABEL_NAME_OK.match(label):
+                raise ValueError(f"bad label name {label!r} on {name!r}")
+    return len(samples)
+
+
+# ----------------------------------------------------------------------
+# Worker snapshot merging (the server-side half of trans-process
+# telemetry: workers ship registry_snapshot()/ObsSession.snapshot()
+# dicts home on JobOutcome.metrics).
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`repro.obs.metrics.metric_key`.
+
+    ``"name{k=v,k2=v2}"`` → ``("name", {"k": "v", "k2": "v2"})``; a bare
+    name maps to empty labels.  Label *values* in snapshot keys are the
+    ``str()`` of the original values and contain no braces by
+    construction.
+    """
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, body = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in body[:-1].split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def merge_worker_snapshot(registry: MetricsRegistry,
+                          snapshot: Mapping[str, Any],
+                          prefix: str = "worker.") -> None:
+    """Fold one worker metrics snapshot into ``registry`` under ``prefix``.
+
+    Counters accumulate exactly (each snapshot is one job's delta, so
+    summing across jobs yields server-lifetime totals).  Histogram
+    summaries cannot be merged sample-exactly across processes, so they
+    land as ``<prefix><name>.sum`` / ``<prefix><name>.count`` counter
+    pairs; ``total`` is reconstructed from ``mean * count`` when a
+    session snapshot omitted it.
+    """
+    for key, value in (snapshot.get("counters") or {}).items():
+        name, labels = parse_metric_key(key)
+        registry.counter(prefix + name, **labels).inc(float(value))
+    for key, summary in (snapshot.get("histograms") or {}).items():
+        name, labels = parse_metric_key(key)
+        count = float(summary.get("count", 0) or 0)
+        total = summary.get("total")
+        if total is None:
+            total = float(summary.get("mean", 0.0) or 0.0) * count
+        registry.counter(prefix + name + ".count", **labels).inc(count)
+        # Direct value add, not inc(): summary sums of negative-valued
+        # observations (rx.rssi_dbm is measured in dBm) go down, which a
+        # strict counter rejects — exactly like a Prometheus summary
+        # _sum, which is also allowed to decrease.
+        registry.counter(prefix + name + ".sum", **labels).value += float(total)

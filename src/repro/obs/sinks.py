@@ -30,6 +30,7 @@ __all__ = [
     "Sink",
     "MemorySink",
     "JsonlSink",
+    "RotatingJsonlSink",
     "run_manifest",
     "read_jsonl",
 ]
@@ -114,15 +115,104 @@ class JsonlSink(Sink):
         self.close()
 
 
+class RotatingJsonlSink(Sink):
+    """A :class:`JsonlSink` with size-based rotation, for long-lived
+    services.
+
+    The campaign server fans every ``/events`` record into one of these
+    for the whole process lifetime; without rotation that file grows
+    without bound.  When the active file would exceed ``max_bytes`` the
+    chain shifts (``events.jsonl`` → ``events.jsonl.1`` → ... →
+    ``.jsonl.<backups>``, oldest dropped) and a fresh file begins —
+    opening with a new ``manifest`` record so every file in the chain is
+    independently interpretable by :func:`read_jsonl` /
+    ``repro obs summary``.
+
+    Opens in append mode: a restarted server continues the same active
+    file, which is the crash-recovery behaviour the journal layer set the
+    precedent for.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = 4 * 2 ** 20,
+                 backups: int = 4,
+                 manifest: Optional[Dict[str, Any]] = None) -> None:
+        self.path = Path(path)
+        self.max_bytes = max(1, int(max_bytes))
+        self.backups = max(0, int(backups))
+        self.manifest = manifest
+        self.emitted = 0
+        self.rotations = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream: Optional[IO[str]] = open(self.path, "a",
+                                               encoding="utf-8")
+        if self._stream.tell() == 0 and manifest is not None:
+            self._write(manifest)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        assert self._stream is not None
+        json.dump(_sanitize(record), self._stream,
+                  separators=(",", ":"), sort_keys=True)
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def _rotate(self) -> None:
+        assert self._stream is not None
+        self._stream.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+            oldest.unlink(missing_ok=True)
+            for index in range(self.backups - 1, 0, -1):
+                source = self.path.with_name(f"{self.path.name}.{index}")
+                if source.exists():
+                    source.rename(
+                        self.path.with_name(f"{self.path.name}.{index + 1}"))
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._stream = open(self.path, "w", encoding="utf-8")
+        self.rotations += 1
+        if self.manifest is not None:
+            self._write(self.manifest)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._stream is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        if self._stream.tell() >= self.max_bytes:
+            self._rotate()
+        self._write(record)
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "RotatingJsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def _git_describe() -> Optional[str]:
+    """Best-effort ``git describe`` for the manifest, or ``None``.
+
+    Manifests are written from wherever the process happens to run — a
+    pip-installed checkout with no ``.git``, a container without a git
+    binary, a CWD that vanished (``FileNotFoundError`` from the *cwd*,
+    not the binary).  None of those may break telemetry, so any failure
+    at all degrades to ``None`` rather than propagating.
+    """
     try:
         out = subprocess.run(
             ["git", "describe", "--always", "--dirty"],
             capture_output=True, text=True, timeout=5, check=False,
         )
-    except (OSError, subprocess.SubprocessError):
+        if out.returncode != 0:
+            return None
+        describe = out.stdout.strip()
+    except Exception:
         return None
-    describe = out.stdout.strip()
     return describe or None
 
 

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Tuple
 from ..experiments.results import ResultTable
 from .recorder import Observability
 
-__all__ = ["node_table", "channel_table", "routing_table", "summary_tables"]
+__all__ = ["node_table", "channel_table", "routing_table", "summary_tables",
+           "events_summary"]
 
 
 def _by_label(metrics, label: str) -> Dict[str, object]:
@@ -165,6 +166,59 @@ def routing_table(recorder: Observability,
             f"join time: mean {overall.mean:.3f} s, "
             f"max {overall.max:.3f} s over {overall.count} nodes"
         )
+    return table
+
+
+def events_summary(records: List[Dict[str, object]],
+                   title: str = "server events summary") -> ResultTable:
+    """Per-exhibit roll-up of a campaign server's events JSONL.
+
+    ``records`` are the dicts the server's rotating ``/events`` sink
+    writes (``kind == "event"``; job records carry ``event == "job"``).
+    One row per exhibit: job count, successes, cache hits, and latency
+    quantiles over the *executed* (non-cache) jobs — which makes
+    ``repro obs summary <state_dir>/events.jsonl`` the post-hoc
+    counterpart of the live ``repro obs top`` view.
+    """
+    per: Dict[str, Dict[str, List[float]]] = {}
+    campaigns: set = set()
+    for record in records:
+        if record.get("kind") not in (None, "event"):
+            continue
+        if record.get("campaign") is not None:
+            campaigns.add(record["campaign"])
+        if record.get("event") != "job":
+            continue
+        exhibit = str(record.get("exhibit_id", "?"))
+        bucket = per.setdefault(
+            exhibit, {"ok": [], "cache": [], "elapsed": []})
+        bucket["ok"].append(1.0 if record.get("ok") else 0.0)
+        cached = bool(record.get("from_cache"))
+        bucket["cache"].append(1.0 if cached else 0.0)
+        if not cached:
+            bucket["elapsed"].append(float(record.get("elapsed_s", 0.0)))
+    table = ResultTable(title=title)
+    for exhibit in sorted(per):
+        bucket = per[exhibit]
+        executed = sorted(bucket["elapsed"])
+
+        def quantile(q: float) -> Optional[float]:
+            if not executed:
+                return None
+            rank = -int(-q * len(executed) // 1)
+            return executed[min(len(executed), max(1, rank)) - 1]
+
+        table.add_row(
+            exhibit=exhibit,
+            jobs=len(bucket["ok"]),
+            ok=int(sum(bucket["ok"])),
+            cache_hits=int(sum(bucket["cache"])),
+            executed=len(executed),
+            p50_s=quantile(0.50),
+            p95_s=quantile(0.95),
+        )
+    table.add_note(f"{len(records)} records, "
+                   f"{len(campaigns)} campaign(s)")
     return table
 
 

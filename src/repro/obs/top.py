@@ -1,0 +1,327 @@
+"""Live ANSI dashboard over a running campaign server (``repro obs top``).
+
+Polls ``GET /metrics`` (parsed with
+:func:`~repro.obs.exposition.parse_prometheus`) and the campaign list,
+then repaints a single-screen text frame: jobs in flight, queue depth,
+throughput, cache hit rate, per-exhibit latency quantiles, and the tail
+of the newest campaign's event stream.  Everything is stdlib — plain
+ANSI clear-and-home escapes, no curses — so it works over ssh and in CI
+logs alike.
+
+The rendering core (:func:`render_dashboard`) is a pure function of the
+parsed samples, which is what the tests drive; :func:`run_top` is the
+thin polling loop around it.
+
+This module deliberately does **not** import :mod:`repro.campaign`
+(campaign already imports :mod:`repro.obs`; the dashboard speaks plain
+HTTP via :mod:`urllib` instead), so it can watch any server that exposes
+the same endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple
+
+from .exposition import parse_prometheus
+
+__all__ = ["MetricView", "render_dashboard", "run_top",
+           "fetch_text", "fetch_json", "fetch_events"]
+
+#: ANSI: clear screen, cursor home.  Emitted between frames by run_top.
+CLEAR = "\x1b[2J\x1b[H"
+
+Sample = Tuple[str, Dict[str, str], float]
+
+
+def fetch_text(url: str, timeout_s: float = 10.0) -> str:
+    """GET a URL and return its body as text (raises ``OSError`` kin)."""
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return response.read().decode("utf-8")
+
+
+def fetch_json(url: str, timeout_s: float = 10.0) -> Any:
+    """GET a URL and decode its JSON body."""
+    return json.loads(fetch_text(url, timeout_s=timeout_s))
+
+
+def fetch_events(url: str, timeout_s: float = 1.0,
+                 max_lines: int = 500) -> List[Dict[str, Any]]:
+    """Read an NDJSON event stream, best-effort.
+
+    ``/campaigns/<id>/events`` replays history and then *follows* a
+    running campaign, so a plain read would block until the campaign
+    finishes.  The short socket timeout bounds the wait: when the stream
+    stalls (no new event within ``timeout_s``) we keep whatever already
+    arrived — exactly what a dashboard tail wants.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            for line in response:
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except ValueError:
+                    continue
+                records.append(record)
+                if len(records) >= max_lines:
+                    break
+                if record.get("event") == "done":
+                    break
+    except (OSError, urllib.error.URLError):
+        pass  # stalled stream / unreachable: render what we have
+    return records
+
+
+class MetricView:
+    """Indexed access over parsed exposition samples.
+
+    Wraps the ``(name, labels, value)`` triples from
+    :func:`parse_prometheus` with the three lookups a dashboard needs:
+    a single value, a sum over label sets, and a per-label-value
+    breakdown (for the per-exhibit latency table).
+    """
+
+    def __init__(self, samples: Sequence[Sample]) -> None:
+        self.samples = list(samples)
+        self._by_name: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+        for name, labels, value in self.samples:
+            self._by_name.setdefault(name, []).append((labels, value))
+
+    def _matching(self, name: str,
+                  **labels: str) -> List[Tuple[Dict[str, str], float]]:
+        rows = self._by_name.get(name, [])
+        if not labels:
+            return rows
+        return [(l, v) for l, v in rows
+                if all(l.get(k) == v2 for k, v2 in labels.items())]
+
+    def value(self, name: str, default: Optional[float] = None,
+              **labels: str) -> Optional[float]:
+        """The first sample matching ``name`` (and label subset), if any."""
+        rows = self._matching(name, **labels)
+        return rows[0][1] if rows else default
+
+    def total(self, name: str, **labels: str) -> float:
+        """Sum of every sample matching ``name`` (and label subset)."""
+        return sum(v for _l, v in self._matching(name, **labels))
+
+    def by_label(self, name: str, label: str,
+                 **labels: str) -> Dict[str, float]:
+        """``label``-value → sample value, for per-exhibit breakdowns."""
+        out: Dict[str, float] = {}
+        for sample_labels, value in self._matching(name, **labels):
+            key = sample_labels.get(label)
+            if key is not None:
+                out[key] = value
+        return out
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers.
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = float(seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f}s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds / 3600.0:.1f}h"
+
+
+def _fmt_bytes(count: Optional[float]) -> str:
+    if count is None:
+        return "-"
+    count = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024.0 or unit == "GiB":
+            return f"{count:.0f}{unit}" if unit == "B" else f"{count:.1f}{unit}"
+        count /= 1024.0
+    return f"{count:.1f}GiB"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _int(value: Optional[float]) -> str:
+    return "-" if value is None else str(int(value))
+
+
+# ----------------------------------------------------------------------
+# The frame.
+
+
+def render_dashboard(
+    url: str,
+    view: MetricView,
+    prev: Optional[MetricView] = None,
+    interval_s: float = 2.0,
+    width: int = 78,
+    events: Sequence[Mapping[str, Any]] = (),
+    campaigns: Sequence[Mapping[str, Any]] = (),
+) -> str:
+    """Render one dashboard frame as a plain multi-line string.
+
+    ``prev`` is the previous poll's view; when present, throughput is the
+    delta of the completed-jobs counter over ``interval_s``.  Pure: no
+    I/O, no clock reads — callers own both, which keeps this testable.
+    """
+    width = max(40, width)
+    rule = "-" * width
+    lines: List[str] = []
+
+    def kv(label: str, value: str) -> str:
+        return f"  {label:<22}{value}"
+
+    uptime = view.value("server_uptime_s")
+    lines.append(f"repro obs top — {url}"[:width])
+    lines.append(rule)
+    lines.append(kv("uptime", _fmt_duration(uptime)))
+    lines.append(kv("campaigns running", _int(view.value(
+        "server_campaigns_running"))))
+    lines.append(kv("jobs in flight", _int(view.value(
+        "server_jobs_in_flight"))))
+    lines.append(kv("queue depth", _int(view.value("server_queue_depth"))))
+
+    completed = view.total("server_jobs_completed")
+    failed = view.total("server_jobs_failed")
+    retried = view.total("server_jobs_retried")
+    coalesced = view.total("server_jobs_coalesced")
+    if prev is not None and interval_s > 0:
+        rate = (completed - prev.total("server_jobs_completed")) / interval_s
+        throughput = f"{rate:.2f} jobs/s"
+    else:
+        throughput = "warming up"
+    lines.append(kv("jobs done/failed", f"{completed:.0f} / {failed:.0f}"
+                    f"   (retried {retried:.0f},"
+                    f" coalesced {coalesced:.0f})"))
+    lines.append(kv("throughput", throughput))
+
+    hits = view.total("campaign_cache_hits")
+    misses = view.total("campaign_cache_misses")
+    lookups = hits + misses
+    ratio = hits / lookups if lookups else 0.0
+    bar_width = max(10, width - 46)
+    lines.append(rule)
+    lines.append(kv("cache hit rate",
+                    f"[{_bar(ratio, bar_width)}] {100.0 * ratio:5.1f}%"
+                    f"  ({hits:.0f}/{lookups:.0f})"))
+    lines.append(kv("cache evictions", _int(view.total(
+        "campaign_cache_evictions"))))
+    size = view.value("server_cache_bytes")
+    if size is not None:
+        lines.append(kv("cache size", _fmt_bytes(size)))
+
+    # Per-exhibit latency: the server_job_elapsed_s summary family.
+    counts = view.by_label("server_job_elapsed_s_count", "exhibit")
+    if counts:
+        lines.append(rule)
+        lines.append(f"  {'exhibit':<16}{'jobs':>6}{'mean':>10}"
+                     f"{'p50':>10}{'p95':>10}")
+        sums = view.by_label("server_job_elapsed_s_sum", "exhibit")
+        p50 = view.by_label("server_job_elapsed_s", "exhibit",
+                            quantile="0.5")
+        p95 = view.by_label("server_job_elapsed_s", "exhibit",
+                            quantile="0.95")
+        for exhibit in sorted(counts):
+            n = counts[exhibit]
+            mean = sums.get(exhibit, 0.0) / n if n else None
+            lines.append(
+                f"  {exhibit:<16}{n:>6.0f}"
+                f"{_fmt_duration(mean):>10}"
+                f"{_fmt_duration(p50.get(exhibit)):>10}"
+                f"{_fmt_duration(p95.get(exhibit)):>10}"
+            )
+
+    if campaigns:
+        lines.append(rule)
+        for record in list(campaigns)[-4:]:
+            lines.append(
+                f"  campaign {str(record.get('id', '?'))[:14]:<16}"
+                f"{record.get('state', '?'):<10}"
+                f"done {record.get('done', 0)}/{record.get('total', 0)}"
+                f"  ok {record.get('completed', 0)}"
+                f"  failed {record.get('failed', 0)}"
+            )
+
+    if events:
+        lines.append(rule)
+        for event in list(events)[-5:]:
+            kind = event.get("event", event.get("kind", "?"))
+            if "exhibit_id" in event:
+                detail = f"{event['exhibit_id']}@s{event.get('seed', '?')}"
+            else:
+                detail = str(event.get("id", ""))[:14]
+            extra = ""
+            if "elapsed_s" in event:
+                extra = f"  {_fmt_duration(event['elapsed_s'])}"
+            if event.get("from_cache"):
+                extra += "  [cache]"
+            lines.append(f"  {kind:<10}{detail}{extra}"[:width])
+
+    lines.append(rule)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The polling loop.
+
+
+def run_top(url: str, interval_s: float = 2.0, once: bool = False,
+            width: int = 78, stream: Optional[TextIO] = None,
+            max_frames: Optional[int] = None) -> int:
+    """Poll ``url`` and repaint the dashboard until interrupted.
+
+    Returns a process exit code (0 on clean exit / Ctrl-C, 2 when the
+    first poll cannot reach the server).  ``once`` renders a single frame
+    without the ANSI clear — the scriptable mode CI uses.
+    """
+    out = stream if stream is not None else sys.stdout
+    base = url.rstrip("/")
+    prev: Optional[MetricView] = None
+    frames = 0
+    while True:
+        try:
+            view = MetricView(parse_prometheus(
+                fetch_text(base + "/metrics")))
+            campaigns = fetch_json(base + "/campaigns").get("campaigns", [])
+        except (OSError, urllib.error.URLError, ValueError) as exc:
+            if prev is None:
+                out.write(f"repro obs top: cannot reach {base}: {exc}\n")
+                return 2
+            view, campaigns = prev, []
+        events: List[Dict[str, Any]] = []
+        active = [c for c in campaigns if c.get("state") != "done"]
+        newest = (active or campaigns)[-1] if campaigns else None
+        if newest is not None and newest.get("id"):
+            events = fetch_events(base + f"/campaigns/{newest['id']}/events")
+        frame = render_dashboard(base, view, prev=prev,
+                                 interval_s=interval_s, width=width,
+                                 events=events, campaigns=campaigns)
+        if once:
+            out.write(frame)
+            return 0
+        out.write(CLEAR + frame)
+        out.flush()
+        prev = view
+        frames += 1
+        if max_frames is not None and frames >= max_frames:
+            return 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0

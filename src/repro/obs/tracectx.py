@@ -1,0 +1,248 @@
+"""Cross-process trace propagation: campaign → job → span.
+
+A campaign executed through the server spans three layers: the asyncio
+loop that admits and schedules it, the worker process that computes each
+job, and the simulator inside that worker.  This module carries one
+identity — :class:`TraceContext` ``(campaign_id, job_id)`` — across all
+three, so their spans can be merged back into a single Chrome
+``trace_event`` document (:func:`campaign_trace`) that Perfetto renders
+with a **server track** (submit, cache-probe, queue-wait, execute per
+job) above one **worker track per job** (the sim's tx/rx/backoff/cca
+spans).
+
+Timebases
+---------
+Server and worker *wall* spans are wall-clock epoch seconds, directly
+comparable across processes on one host.  Worker *sim* spans are
+simulated seconds; the merge maps each job's sim origin onto the wall
+instant its ``execute`` span started, so a job's radio activity renders
+inside its server-side execute slot.  Sim time is not wall time — the
+worker tracks show *structure* (what the kernel did, in order), while
+the server track shows *cost* (where the wall-clock went); the document
+metadata records the convention.
+
+Nothing here touches the simulator: recording wall spans around a job
+cannot perturb fixed-seed physics, and sim spans are read from the
+existing :class:`~repro.obs.spans.SpanLog` after the run completes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+__all__ = ["TraceContext", "SpanRecorder", "campaign_trace",
+           "export_sim_spans"]
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a span belongs to: which campaign, which job.
+
+    Serialised into the worker payload dict (``payload["trace"]``) so a
+    pool process — spawn-context, sharing nothing — can stamp its spans
+    with the same identity the server uses, and the merge needs no
+    guesswork.
+    """
+
+    campaign_id: str
+    job_id: str = ""
+
+    def child(self, job_id: str) -> "TraceContext":
+        """The per-job context derived from a campaign-level one."""
+        return TraceContext(self.campaign_id, job_id)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"campaign": self.campaign_id, "job": self.job_id}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, str]) -> "TraceContext":
+        return cls(payload.get("campaign", ""), payload.get("job", ""))
+
+
+class SpanRecorder:
+    """Append-only store of completed wall-clock spans.
+
+    Spans are plain dicts (``name``, ``job``, ``t0``, ``t1`` epoch
+    seconds, optional ``args``) so they serialise over HTTP/pickle
+    without adapters.  Bounded: when full, further spans are counted but
+    dropped — a server that lives for weeks must not leak one list node
+    per job.
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self.spans: List[Dict[str, Any]] = []
+        self.dropped = 0
+
+    def add(self, name: str, t0: float, t1: float, *, job: str = "",
+            **args: Any) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        span: Dict[str, Any] = {"name": name, "job": job,
+                                "t0": t0, "t1": t1}
+        if args:
+            span["args"] = args
+        self.spans.append(span)
+
+    @contextmanager
+    def span(self, name: str, *, job: str = "",
+             **args: Any) -> Iterator[None]:
+        """Record the wrapped block as one completed span."""
+        t0 = time.time()
+        try:
+            yield
+        finally:
+            self.add(name, t0, time.time(), job=job, **args)
+
+    def for_job(self, job: str) -> List[Dict[str, Any]]:
+        return [s for s in self.spans if s["job"] == job]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def export_sim_spans(recorders: Sequence[Any],
+                     max_spans: int = 4000) -> Dict[str, Any]:
+    """Dump a session's sim spans as JSON/pickle-safe dicts, bounded.
+
+    ``recorders`` are :class:`~repro.obs.recorder.Observability`
+    instances; the newest spans win when the budget is exceeded (the
+    tail of a run is usually the interesting part, and the oldest spans
+    are what the bounded ``SpanLog`` drops first anyway).
+    """
+    spans: List[Dict[str, Any]] = []
+    for recorder in recorders:
+        for span in recorder.spans:
+            record: Dict[str, Any] = {
+                "kind": span.kind, "node": span.node, "run": recorder.run_id,
+                "t0": span.start, "t1": span.end,
+            }
+            if span.args:
+                record["args"] = dict(span.args)
+            spans.append(record)
+    dropped = max(0, len(spans) - max_spans)
+    if dropped:
+        spans = spans[-max_spans:]
+    return {"sim": spans, "sim_dropped": dropped}
+
+
+# ----------------------------------------------------------------------
+# The merge: one Chrome trace_event document per campaign.
+
+
+def _meta(name: str, pid: int, tid: int, what: str) -> Dict[str, Any]:
+    return {"name": what, "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def campaign_trace(
+    campaign_id: str,
+    server_spans: Sequence[Mapping[str, Any]],
+    job_traces: Mapping[str, Mapping[str, Any]],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Merge server and worker spans into one Chrome trace document.
+
+    Parameters
+    ----------
+    campaign_id:
+        Names the server process track.
+    server_spans:
+        :class:`SpanRecorder`-shaped dicts (wall-clock) recorded on the
+        server: ``submit``, ``cache_probe``, ``queue_wait``, ``execute``
+        — one thread lane per job, in first-seen order.
+    job_traces:
+        Per-job worker exports (``job label`` → the worker result's
+        ``trace`` dict): ``wall`` spans (epoch seconds) join the job's
+        server lane timebase directly; ``sim`` spans render in a
+        dedicated process per job, offset so sim ``t=0`` sits at the
+        job's wall ``execute`` start.
+
+    The document loads in Perfetto / ``chrome://tracing``: pid 0 is the
+    server, pid ``1+i`` the i-th job's simulator view.
+    """
+    wall_starts = [s["t0"] for s in server_spans]
+    for trace in job_traces.values():
+        wall_starts.extend(s["t0"] for s in trace.get("wall", ()))
+    origin = min(wall_starts) if wall_starts else 0.0
+
+    events: List[Dict[str, Any]] = []
+    events.append(_meta(f"server: campaign {campaign_id}", 0, 0,
+                        "process_name"))
+
+    # Server lanes: one tid per job label, in first-seen order; spans
+    # with no job (campaign-level, e.g. submit) go to lane 0.
+    tids: Dict[str, int] = {}
+    for span in server_spans:
+        job = span.get("job") or ""
+        if job and job not in tids:
+            tids[job] = len(tids) + 1
+            events.append(_meta(job, 0, tids[job], "thread_name"))
+    events.append(_meta("campaign", 0, 0, "thread_name"))
+    for span in server_spans:
+        job = span.get("job") or ""
+        event: Dict[str, Any] = {
+            "name": span["name"], "cat": "server", "ph": "X",
+            "pid": 0, "tid": tids.get(job, 0),
+            "ts": (span["t0"] - origin) * _US,
+            "dur": max(0.0, span["t1"] - span["t0"]) * _US,
+        }
+        if span.get("args"):
+            event["args"] = dict(span["args"])
+        events.append(event)
+
+    # Worker processes: one pid per job that shipped a trace home.
+    for index, job in enumerate(sorted(job_traces)):
+        trace = job_traces[job]
+        pid = 1 + index
+        events.append(_meta(f"worker: {job}", pid, 0, "process_name"))
+        wall_spans = list(trace.get("wall", ()))
+        events.append(_meta("wall", pid, 0, "thread_name"))
+        for span in wall_spans:
+            events.append({
+                "name": span["name"], "cat": "worker", "ph": "X",
+                "pid": pid, "tid": 0,
+                "ts": (span["t0"] - origin) * _US,
+                "dur": max(0.0, span["t1"] - span["t0"]) * _US,
+            })
+        sim_spans = trace.get("sim") or ()
+        if not sim_spans:
+            continue
+        # Sim t=0 lands on the wall start of the job's execute span.
+        exec_start = min((s["t0"] for s in wall_spans), default=origin)
+        node_tids: Dict[str, int] = {}
+        for span in sim_spans:
+            node = f"run{span.get('run', 0)}:{span['node']}"
+            tid = node_tids.get(node)
+            if tid is None:
+                tid = node_tids[node] = len(node_tids) + 1
+                events.append(_meta(node, pid, tid, "thread_name"))
+            event = {
+                "name": span["kind"], "cat": "sim", "ph": "X",
+                "pid": pid, "tid": tid,
+                "ts": (exec_start - origin + span["t0"]) * _US,
+                "dur": max(0.0, span["t1"] - span["t0"]) * _US,
+            }
+            if span.get("args"):
+                event["args"] = dict(span["args"])
+            events.append(event)
+
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "campaign": campaign_id,
+            "timebase": ("server/worker wall spans: epoch-relative "
+                         "wall-clock; sim spans: sim seconds offset to "
+                         "the job's execute start"),
+        },
+    }
+    if metadata:
+        document["metadata"].update(metadata)
+    return document

@@ -5,6 +5,10 @@ Two entry points, surfaced on the command line as ``python -m repro perf``:
 - :mod:`repro.perf.profiler` — ``repro perf profile <exhibit>``: run one
   registered exhibit under :mod:`cProfile` and print the top-N hotspots,
   so "where does the time go" is one command away;
+- :class:`repro.perf.profiler.FlightRecorder` — periodic low-overhead
+  process snapshots (CPU, RSS, GC, caller gauges) for long-lived
+  services; the campaign server runs one and serves its ring at
+  ``GET /debug/profile``;
 - :mod:`repro.perf.bench` — ``repro perf bench``: a fixed suite of kernel
   micro-benchmarks (event-queue throughput, cancellation churn, medium
   fan-out, CCA probing incremental vs. brute-force, and an end-to-end
@@ -20,12 +24,13 @@ kernel cost rather than absolute runner speed.
 """
 
 from .bench import run_bench_suite, check_against_baseline, load_baseline
-from .profiler import profile_exhibit, profile_scene
+from .profiler import FlightRecorder, profile_exhibit, profile_scene
 
 __all__ = [
     "run_bench_suite",
     "check_against_baseline",
     "load_baseline",
+    "FlightRecorder",
     "profile_exhibit",
     "profile_scene",
 ]

@@ -1,0 +1,141 @@
+"""Prometheus exposition: render → parse → validate round trips, plus
+the worker-snapshot merge the campaign server uses."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    merge_worker_snapshot,
+    parse_metric_key,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    validate_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry, metric_key
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("server.jobs.completed").inc(5)
+    registry.counter("tx.frames", channel=2412.0, node="N0.s0").inc(17)
+    registry.gauge("server.uptime_s", lambda: 42.25)
+    hist = registry.histogram("server.job.elapsed_s", exhibit="fig04")
+    for value in (0.1, 0.2, 0.3, 0.4):
+        hist.observe(value)
+    registry.timeseries("adjustor.threshold_dbm", node="N0.s0").append(
+        0.01, -77.0)
+    return registry
+
+
+def test_render_parse_round_trip():
+    text = render_prometheus(populated_registry())
+    samples = parse_prometheus(text)
+    by_name = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+    assert by_name["server_jobs_completed"] == [({}, 5.0)]
+    assert by_name["tx_frames"] == [
+        ({"channel": "2412.0", "node": "N0.s0"}, 17.0)]
+    assert by_name["server_uptime_s"] == [({}, 42.25)]
+    assert by_name["adjustor_threshold_dbm"] == [({"node": "N0.s0"}, -77.0)]
+    # Histogram renders as a summary: quantiles + _sum/_count.
+    quantiles = {
+        labels["quantile"]: value
+        for labels, value in by_name["server_job_elapsed_s"]
+    }
+    assert quantiles == {"0.5": 0.2, "0.95": 0.4, "0.99": 0.4}
+    assert by_name["server_job_elapsed_s_sum"][0][1] == pytest.approx(1.0)
+    assert by_name["server_job_elapsed_s_count"][0][1] == 4.0
+
+
+def test_validator_accepts_rendered_output():
+    text = render_prometheus(populated_registry())
+    # The acceptance-criteria validator: every sample typed, label names
+    # legal, no duplicate TYPE lines.
+    assert validate_prometheus(text) == len(parse_prometheus(text))
+
+
+def test_validator_rejects_malformed_text():
+    with pytest.raises(ValueError):
+        parse_prometheus("9bad_name 1\n")
+    with pytest.raises(ValueError):
+        parse_prometheus('metric{unterminated="x 1\n')
+    with pytest.raises(ValueError):
+        validate_prometheus("untyped_sample 1\n")  # no # TYPE family
+    with pytest.raises(ValueError):
+        validate_prometheus(
+            "# TYPE a counter\n# TYPE a counter\na 1\n")  # duplicate TYPE
+    with pytest.raises(ValueError):
+        validate_prometheus("# TYPE a flavour\na 1\n")  # bad type word
+
+
+def test_label_value_escaping_round_trips():
+    registry = MetricsRegistry()
+    tricky = 'quo"te\\slash\nnewline'
+    registry.counter("c", label=tricky).inc(1)
+    text = render_prometheus(registry)
+    ((name, labels, value),) = parse_prometheus(text)
+    assert name == "c" and value == 1.0
+    assert labels["label"] == tricky
+    assert validate_prometheus(text) == 1
+
+
+def test_non_finite_values_render_and_parse():
+    registry = MetricsRegistry()
+    registry.gauge("g.inf", lambda: float("inf"))
+    registry.gauge("g.ninf", lambda: float("-inf"))
+    registry.gauge("g.nan", lambda: float("nan"))
+    samples = {n: v for n, _l, v in parse_prometheus(
+        render_prometheus(registry))}
+    assert samples["g_inf"] == float("inf")
+    assert samples["g_ninf"] == float("-inf")
+    assert math.isnan(samples["g_nan"])
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("server.jobs.in_flight") == \
+        "server_jobs_in_flight"
+    assert sanitize_metric_name("2fast") == "_2fast"
+    assert sanitize_metric_name("a-b c") == "a_b_c"
+    assert sanitize_metric_name("") == "_"
+
+
+def test_parse_metric_key_inverts_metric_key():
+    labels = (("channel", "2412.0"), ("node", "N0.s0"))
+    key = metric_key("tx.frames", labels)
+    assert parse_metric_key(key) == ("tx.frames", dict(labels))
+    assert parse_metric_key("bare") == ("bare", {})
+
+
+def test_merge_worker_snapshot_counters_and_histograms():
+    registry = MetricsRegistry()
+    snapshot = {
+        "counters": {"tx.frames{channel=2412.0}": 7.0, "rx.delivered": 3.0},
+        "histograms": {
+            # dBm summary: negative total — must merge without tripping
+            # the monotonic-counter guard.
+            "rx.rssi_dbm": {"count": 4, "mean": -70.0},
+            "mac.backoff_s": {"count": 2, "total": 0.5, "mean": 0.25},
+        },
+    }
+    merge_worker_snapshot(registry, snapshot)
+    merge_worker_snapshot(registry, snapshot)  # second job: sums add
+    counters = {
+        metric_key(c.name, c.labels): c.value for c in registry.counters()
+    }
+    assert counters["worker.tx.frames{channel=2412.0}"] == 14.0
+    assert counters["worker.rx.delivered"] == 6.0
+    assert counters["worker.mac.backoff_s.count"] == 4.0
+    assert counters["worker.mac.backoff_s.sum"] == pytest.approx(1.0)
+    # total reconstructed from mean * count when absent
+    assert counters["worker.rx.rssi_dbm.sum"] == pytest.approx(-560.0)
+    text = render_prometheus(registry)
+    assert validate_prometheus(text) > 0
+    assert "worker_rx_rssi_dbm_sum -560" in text
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""
+    assert validate_prometheus("") == 0

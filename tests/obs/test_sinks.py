@@ -6,10 +6,12 @@ import math
 import pytest
 
 import repro
+import repro.obs.sinks as sinks_mod
 from repro.obs.sinks import (
     SCHEMA_VERSION,
     JsonlSink,
     MemorySink,
+    RotatingJsonlSink,
     _sanitize,
     read_jsonl,
     run_manifest,
@@ -89,6 +91,75 @@ def test_read_jsonl_kind_last_and_malformed(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# RotatingJsonlSink
+
+
+MANIFEST = {"kind": "manifest", "schema": SCHEMA_VERSION, "role": "test"}
+
+
+def _emit_n(sink, n, start=0):
+    for i in range(start, start + n):
+        sink.emit({"kind": "event", "i": i})
+
+
+def test_rotating_sink_rotates_chain_and_remanifests(tmp_path):
+    path = tmp_path / "events.jsonl"
+    # Each record is ~22 bytes; cap at 2 records per file.
+    with RotatingJsonlSink(path, max_bytes=60, backups=2,
+                           manifest=dict(MANIFEST)) as sink:
+        _emit_n(sink, 7)
+        assert sink.emitted == 7
+        assert sink.rotations >= 2
+    # The active file and every backup start with their own manifest.
+    chain = [path, path.with_name("events.jsonl.1"),
+             path.with_name("events.jsonl.2")]
+    for file in chain:
+        assert file.exists(), file
+        records = read_jsonl(file)
+        assert records[0]["kind"] == "manifest"
+        assert records[0]["role"] == "test"
+    # Oldest beyond `backups` is dropped, never .3.
+    assert not path.with_name("events.jsonl.3").exists()
+    # The chain retains the *newest* contiguous suffix of the stream
+    # (oldest records age out, none duplicated, none reordered).
+    indexes = sorted(
+        r["i"] for file in chain for r in read_jsonl(file, kind="event"))
+    assert indexes == list(range(7 - len(indexes), 7))
+    assert read_jsonl(path, kind="event")[-1]["i"] == 6
+
+
+def test_rotating_sink_appends_on_reopen(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with RotatingJsonlSink(path, max_bytes=10_000,
+                           manifest=dict(MANIFEST)) as sink:
+        _emit_n(sink, 2)
+    # A restarted server resumes the same file: no second manifest, the
+    # old records survive.
+    with RotatingJsonlSink(path, max_bytes=10_000,
+                           manifest=dict(MANIFEST)) as sink:
+        _emit_n(sink, 2, start=2)
+    records = read_jsonl(path)
+    assert [r["kind"] for r in records].count("manifest") == 1
+    assert [r["i"] for r in read_jsonl(path, kind="event")] == [0, 1, 2, 3]
+
+
+def test_rotating_sink_zero_backups_truncates(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with RotatingJsonlSink(path, max_bytes=30, backups=0) as sink:
+        _emit_n(sink, 5)
+        assert sink.rotations > 0
+    assert not path.with_name("events.jsonl.1").exists()
+
+
+def test_rotating_sink_closed_raises(tmp_path):
+    sink = RotatingJsonlSink(tmp_path / "e.jsonl")
+    sink.close()
+    sink.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        sink.emit({"kind": "event"})
+
+
+# ----------------------------------------------------------------------
 # Manifest
 
 
@@ -111,3 +182,37 @@ def test_run_manifest_optional_fields_omitted():
     assert "exhibit" not in manifest
     assert "seed" not in manifest
     assert "profile" not in manifest
+
+
+def test_git_describe_tolerates_missing_binary(monkeypatch):
+    def no_git(*args, **kwargs):
+        raise FileNotFoundError("git")
+
+    monkeypatch.setattr(sinks_mod.subprocess, "run", no_git)
+    assert sinks_mod._git_describe() is None
+    manifest = run_manifest(exhibit="fig04")
+    assert manifest["git"] is None
+    json.dumps(manifest)
+
+
+def test_git_describe_tolerates_non_repo_checkout(monkeypatch):
+    class Failed:
+        returncode = 128
+        stdout = ""
+        stderr = "fatal: not a git repository"
+
+    monkeypatch.setattr(sinks_mod.subprocess, "run",
+                        lambda *a, **kw: Failed())
+    assert sinks_mod._git_describe() is None
+    assert run_manifest()["git"] is None
+
+
+def test_git_describe_tolerates_empty_output(monkeypatch):
+    class Empty:
+        returncode = 0
+        stdout = "\n"
+        stderr = ""
+
+    monkeypatch.setattr(sinks_mod.subprocess, "run",
+                        lambda *a, **kw: Empty())
+    assert sinks_mod._git_describe() is None

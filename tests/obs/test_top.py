@@ -1,0 +1,143 @@
+"""The live dashboard: MetricView lookups, pure-frame rendering, and the
+polling loop against stubbed endpoints."""
+
+import io
+
+import pytest
+
+import repro.obs.top as top
+from repro.obs.exposition import parse_prometheus
+from repro.obs.top import MetricView, render_dashboard, run_top
+
+SCRAPE = """\
+# TYPE server_uptime_s gauge
+server_uptime_s 125.5
+# TYPE server_jobs_in_flight gauge
+server_jobs_in_flight 3
+# TYPE server_queue_depth gauge
+server_queue_depth 7
+# TYPE server_campaigns_running gauge
+server_campaigns_running 1
+# TYPE server_jobs_completed counter
+server_jobs_completed 40
+# TYPE server_jobs_failed counter
+server_jobs_failed 2
+# TYPE campaign_cache_hits counter
+campaign_cache_hits 30
+# TYPE campaign_cache_misses counter
+campaign_cache_misses 10
+# TYPE server_job_elapsed_s summary
+server_job_elapsed_s{exhibit="fig04",quantile="0.5"} 0.2
+server_job_elapsed_s{exhibit="fig04",quantile="0.95"} 0.4
+server_job_elapsed_s_sum{exhibit="fig04"} 2.4
+server_job_elapsed_s_count{exhibit="fig04"} 10
+"""
+
+
+def view_of(text=SCRAPE):
+    return MetricView(parse_prometheus(text))
+
+
+def test_metric_view_lookups():
+    view = view_of()
+    assert view.value("server_uptime_s") == 125.5
+    assert view.value("absent") is None
+    assert view.value("absent", default=0.0) == 0.0
+    assert view.total("server_jobs_completed") == 40.0
+    assert view.by_label("server_job_elapsed_s_count", "exhibit") == {
+        "fig04": 10.0}
+    assert view.value("server_job_elapsed_s", exhibit="fig04",
+                      quantile="0.95") == 0.4
+
+
+def test_render_dashboard_contents():
+    frame = render_dashboard("http://h:1", view_of())
+    assert "repro obs top — http://h:1" in frame
+    assert "jobs in flight" in frame and "3" in frame
+    assert "queue depth" in frame
+    assert "40 / 2" in frame  # done / failed
+    assert "75.0%" in frame  # 30 hits / 40 lookups
+    assert "fig04" in frame
+    assert "warming up" in frame  # no previous poll yet
+    assert frame.endswith("\n")
+
+
+def test_render_dashboard_throughput_from_delta():
+    prev_text = SCRAPE.replace("server_jobs_completed 40",
+                               "server_jobs_completed 30")
+    frame = render_dashboard("u", view_of(), prev=view_of(prev_text),
+                             interval_s=2.0)
+    assert "5.00 jobs/s" in frame
+
+
+def test_render_dashboard_events_and_campaigns():
+    frame = render_dashboard(
+        "u", view_of(),
+        events=[{"event": "job", "exhibit_id": "fig04", "seed": 3,
+                 "elapsed_s": 0.25, "from_cache": True}],
+        campaigns=[{"id": "c0001-abcd", "state": "running",
+                    "done": 1, "total": 4, "completed": 1, "failed": 0}],
+    )
+    assert "campaign c0001-abcd" in frame
+    assert "done 1/4" in frame
+    assert "fig04@s3" in frame
+    assert "[cache]" in frame
+
+
+def test_run_top_once_with_stubbed_endpoints(monkeypatch):
+    def fake_fetch_text(url, timeout_s=10.0):
+        assert url.endswith("/metrics")
+        return SCRAPE
+
+    def fake_fetch_json(url, timeout_s=10.0):
+        assert url.endswith("/campaigns")
+        return {"campaigns": [
+            {"id": "c1", "state": "running", "done": 1, "total": 2,
+             "completed": 1, "failed": 0}]}
+
+    def fake_fetch_events(url, timeout_s=1.0, max_lines=500):
+        assert url.endswith("/campaigns/c1/events")
+        return [{"event": "job", "exhibit_id": "alpha", "seed": 1,
+                 "elapsed_s": 0.1}]
+
+    monkeypatch.setattr(top, "fetch_text", fake_fetch_text)
+    monkeypatch.setattr(top, "fetch_json", fake_fetch_json)
+    monkeypatch.setattr(top, "fetch_events", fake_fetch_events)
+    out = io.StringIO()
+    assert run_top("http://stub", once=True, stream=out) == 0
+    frame = out.getvalue()
+    assert "jobs in flight" in frame
+    assert "campaign c1" in frame
+    assert top.CLEAR not in frame  # --once is scriptable: no ANSI clear
+
+
+def test_run_top_unreachable_server_exits_2():
+    out = io.StringIO()
+    # Port 9 (discard) on localhost: connection refused immediately.
+    assert run_top("http://127.0.0.1:9", once=True, stream=out) == 2
+    assert "cannot reach" in out.getvalue()
+
+
+def test_run_top_max_frames_clears_between_polls(monkeypatch):
+    monkeypatch.setattr(top, "fetch_text", lambda url, timeout_s=10.0: SCRAPE)
+    monkeypatch.setattr(top, "fetch_json",
+                        lambda url, timeout_s=10.0: {"campaigns": []})
+    monkeypatch.setattr(top.time, "sleep", lambda s: None)
+    out = io.StringIO()
+    assert run_top("http://stub", interval_s=0.01, stream=out,
+                   max_frames=2) == 0
+    assert out.getvalue().count(top.CLEAR) == 2
+
+
+def test_formatting_helpers():
+    assert top._fmt_duration(None) == "-"
+    assert top._fmt_duration(5e-7) == "0us"
+    assert top._fmt_duration(0.0015) == "1.5ms"
+    assert top._fmt_duration(12.0) == "12.0s"
+    assert top._fmt_duration(600.0) == "10.0m"
+    assert top._fmt_duration(8000.0) == "2.2h"
+    assert top._fmt_bytes(512) == "512B"
+    assert top._fmt_bytes(2048) == "2.0KiB"
+    assert top._bar(0.5, 10) == "#####....."
+    assert top._bar(2.0, 4) == "####"
+    assert top._bar(-1.0, 4) == "...."

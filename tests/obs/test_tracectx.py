@@ -1,0 +1,128 @@
+"""Trace propagation: context round trips, span recording, and the
+merged per-campaign Chrome trace document (Perfetto structure)."""
+
+import json
+
+from repro.obs.tracectx import (
+    SpanRecorder,
+    TraceContext,
+    campaign_trace,
+    export_sim_spans,
+)
+from tests.obs.rig import run_rig
+
+from repro.obs.recorder import Observability
+
+
+def test_trace_context_round_trip():
+    ctx = TraceContext("c0001-abc").child("fig04@s2")
+    assert ctx.campaign_id == "c0001-abc" and ctx.job_id == "fig04@s2"
+    assert TraceContext.from_dict(ctx.to_dict()) == ctx
+    assert TraceContext.from_dict({}) == TraceContext("", "")
+
+
+def test_span_recorder_records_and_bounds():
+    recorder = SpanRecorder(max_spans=2)
+    recorder.add("submit", 1.0, 2.0)
+    with recorder.span("execute", job="a@s1", attempt=1):
+        pass
+    recorder.add("overflow", 3.0, 4.0)
+    assert len(recorder) == 2
+    assert recorder.dropped == 1
+    assert recorder.spans[0] == {"name": "submit", "job": "", "t0": 1.0,
+                                 "t1": 2.0}
+    execute = recorder.for_job("a@s1")[0]
+    assert execute["name"] == "execute"
+    assert execute["args"] == {"attempt": 1}
+    assert execute["t1"] >= execute["t0"]
+
+
+def _server_spans():
+    return [
+        {"name": "submit", "job": "", "t0": 100.0, "t1": 100.001},
+        {"name": "queue_wait", "job": "a@s1", "t0": 100.001, "t1": 100.002},
+        {"name": "execute", "job": "a@s1", "t0": 100.002, "t1": 100.502},
+    ]
+
+
+def _job_traces():
+    return {
+        "a@s1": {
+            "campaign": "c0001", "job": "a@s1",
+            "wall": [{"name": "execute", "t0": 100.010, "t1": 100.500}],
+            "sim": [
+                {"kind": "tx", "node": "N0.s0", "t0": 0.0, "t1": 0.004,
+                 "run": 0, "args": {"frame": 1}},
+                {"kind": "rx", "node": "N0.r0", "t0": 0.0, "t1": 0.004,
+                 "run": 0},
+            ],
+        },
+    }
+
+
+def test_campaign_trace_structure_loads_like_perfetto():
+    doc = campaign_trace("c0001", _server_spans(), _job_traces())
+    # Must be a JSON-serialisable trace_event document.
+    json.dumps(doc)
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["metadata"]["campaign"] == "c0001"
+    events = doc["traceEvents"]
+    assert all(e["ph"] in ("X", "M") for e in events)
+    # Server track: pid 0 with a process_name and per-job thread lanes.
+    metas = [e for e in events if e["ph"] == "M"]
+    names = {(e["pid"], e["tid"], e["name"]): e["args"]["name"]
+             for e in metas}
+    assert names[(0, 0, "process_name")] == "server: campaign c0001"
+    assert names[(0, 1, "thread_name")] == "a@s1"
+    assert names[(1, 0, "process_name")] == "worker: a@s1"
+    # Duration events: µs timestamps relative to the earliest wall t0.
+    durations = [e for e in events if e["ph"] == "X"]
+    submit = next(e for e in durations if e["name"] == "submit")
+    assert submit["pid"] == 0 and submit["tid"] == 0
+    assert submit["ts"] == 0.0
+    assert submit["dur"] == (100.001 - 100.0) * 1e6
+    execute = next(e for e in durations
+                   if e["name"] == "execute" and e["pid"] == 0)
+    assert execute["tid"] == 1
+    assert execute["ts"] == (100.002 - 100.0) * 1e6
+    # Sim spans land offset to the job's wall execute start (100.010).
+    tx = next(e for e in durations if e["name"] == "tx")
+    assert tx["pid"] == 1 and tx["cat"] == "sim"
+    assert tx["ts"] == (100.010 - 100.0) * 1e6
+    assert tx["dur"] == 0.004 * 1e6
+    assert tx["args"] == {"frame": 1}
+    # All timestamps non-negative (Perfetto renders negatives off-screen).
+    assert all(e["ts"] >= 0 for e in durations)
+
+
+def test_campaign_trace_empty_inputs():
+    doc = campaign_trace("c0", [], {})
+    assert doc["traceEvents"][0]["ph"] == "M"
+    assert all(e["ph"] == "M" for e in doc["traceEvents"])
+    json.dumps(doc)
+
+
+def test_export_sim_spans_from_real_recorder():
+    obs = Observability(sample_interval_s=None)
+    run_rig(seed=1, obs=obs, run_s=0.02)
+    export = export_sim_spans([obs])
+    assert export["sim_dropped"] == 0
+    assert len(export["sim"]) == len(obs.spans)
+    assert export["sim"], "the rig should record spans"
+    first = export["sim"][0]
+    assert set(first) >= {"kind", "node", "run", "t0", "t1"}
+    assert first["run"] == 0
+    json.dumps(export)
+
+
+def test_export_sim_spans_caps_and_keeps_newest():
+    obs = Observability(sample_interval_s=None)
+    run_rig(seed=1, obs=obs, run_s=0.02)
+    total = len(obs.spans)
+    assert total > 5
+    export = export_sim_spans([obs], max_spans=5)
+    assert len(export["sim"]) == 5
+    assert export["sim_dropped"] == total - 5
+    # Newest retained: the export's last span is the recorder's last span.
+    last = list(obs.spans)[-1]
+    assert export["sim"][-1]["t1"] == last.end
